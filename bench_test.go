@@ -1,0 +1,336 @@
+package aspp
+
+// One benchmark per paper table/figure (reduced topology sizes so the
+// suite completes quickly), plus the ablation benchmarks DESIGN.md calls
+// out: Fast vs Reference engine, survey memoization, and worker fan-out.
+// cmd/asppbench regenerates the figures at full scale.
+
+import (
+	"sync"
+	"testing"
+
+	"aspp/internal/collector"
+	"aspp/internal/experiment"
+	"aspp/internal/measure"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+const benchSize = 1000
+
+var (
+	benchOnce sync.Once
+	benchNet  *Internet
+)
+
+func benchInternet(b *testing.B) *Internet {
+	b.Helper()
+	benchOnce.Do(func() {
+		in, err := NewInternet(WithSize(benchSize), WithSeed(1))
+		if err != nil {
+			panic(err)
+		}
+		benchNet = in
+	})
+	return benchNet
+}
+
+func benchTier1Pair(b *testing.B, in *Internet) (victim, attacker ASN) {
+	b.Helper()
+	g := in.Graph()
+	v, err := experiment.PickTier1ByDegree(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := experiment.PickTier1ByDegree(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v, m
+}
+
+// BenchmarkFig1CaseStudy regenerates the Facebook anomaly (paper Fig. 1).
+func BenchmarkFig1CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FacebookCaseStudy(300, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Traceroute regenerates the Table I traceroutes.
+func BenchmarkTable1Traceroute(b *testing.B) {
+	cs, err := FacebookCaseStudy(300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		normal, hijacked := cs.Traceroutes(1)
+		if len(normal) == 0 || len(hijacked) == 0 {
+			b.Fatal("empty traceroute")
+		}
+	}
+}
+
+// BenchmarkFig5Usage runs the monitor-table/update survey (paper Fig. 5;
+// Fig. 6's distributions come from the same pass).
+func BenchmarkFig5Usage(b *testing.B) {
+	in := benchInternet(b)
+	cfg := measure.DefaultSurveyConfig()
+	cfg.ChurnEvents = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.UsageSurvey(PolicyConfig{}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5MemoOnOff is the (origin, policy) memoization ablation.
+func BenchmarkFig5MemoOnOff(b *testing.B) {
+	in := benchInternet(b)
+	origins, err := collector.AssignOrigins(in.Graph(), collector.DefaultPolicyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, memo := range []bool{true, false} {
+		name := "memo=off"
+		if memo {
+			name = "memo=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := measure.DefaultSurveyConfig()
+			cfg.ChurnEvents = 0
+			cfg.Memoize = memo
+			for i := 0; i < b.N; i++ {
+				if _, err := measure.RunSurvey(in.Graph(), origins, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Tier1Pairs ranks tier-1-on-tier-1 hijacks (paper Fig. 7).
+func BenchmarkFig7Tier1Pairs(b *testing.B) {
+	in := benchInternet(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SamplePairs(PairConfig{
+			Kind: PairsTier1, N: 40, Prepend: 3, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8RandomPairs ranks random-pair hijacks (paper Fig. 8).
+func BenchmarkFig8RandomPairs(b *testing.B) {
+	in := benchInternet(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SamplePairs(PairConfig{
+			Kind: PairsRandom, N: 27, Prepend: 3, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Sweep sweeps λ for a tier-1 pair (paper Fig. 9).
+func BenchmarkFig9Sweep(b *testing.B) {
+	in := benchInternet(b)
+	v, m := benchTier1Pair(b, in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SweepPrepend(v, m, 8, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10SweepTier1VsStub sweeps λ for a tier-1 attacker against a
+// content-stub victim (paper Fig. 10).
+func BenchmarkFig10SweepTier1VsStub(b *testing.B) {
+	in := benchInternet(b)
+	g := in.Graph()
+	attacker, err := experiment.PickTier1ByDegree(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, err := experiment.PickContentStub(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SweepPrepend(victim, attacker, 8, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Violate sweeps λ for a stub attacker against a tier-1
+// victim with valley-free violation (paper Fig. 11; also the violation-
+// handling ablation: the violating pass costs one extra seeded sweep).
+func BenchmarkFig11Violate(b *testing.B) {
+	in := benchInternet(b)
+	g := in.Graph()
+	attacker, err := experiment.PickContentStub(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, err := experiment.PickTier1ByDegree(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SweepPrepend(victim, attacker, 8, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12SmallPair sweeps λ for a small-vs-small pair (Fig. 12).
+func BenchmarkFig12SmallPair(b *testing.B) {
+	in := benchInternet(b)
+	g := in.Graph()
+	attacker, err := experiment.PickStub(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, err := experiment.PickStub(g, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SweepPrepend(victim, attacker, 8, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Detection runs the detection accuracy sweep (Fig. 13).
+func BenchmarkFig13Detection(b *testing.B) {
+	in := benchInternet(b)
+	cfg := DefaultDetectionConfig()
+	cfg.MonitorCounts = []int{10, 70, 150}
+	cfg.Pairs = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.RunDetection(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13MonitorPolicy is the monitor-placement ablation.
+func BenchmarkFig13MonitorPolicy(b *testing.B) {
+	in := benchInternet(b)
+	for _, policy := range []struct {
+		name string
+		p    experiment.MonitorPolicy
+	}{
+		{name: "top-degree", p: MonitorsTopDegree},
+		{name: "random", p: MonitorsRandom},
+	} {
+		b.Run(policy.name, func(b *testing.B) {
+			cfg := DefaultDetectionConfig()
+			cfg.MonitorCounts = []int{70}
+			cfg.Pairs = 40
+			cfg.Policy = policy.p
+			for i := 0; i < b.N; i++ {
+				if _, err := in.RunDetection(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14DetectionLatency measures the polluted-before-detection
+// computation (Fig. 14) on top of the accuracy run.
+func BenchmarkFig14DetectionLatency(b *testing.B) {
+	in := benchInternet(b)
+	cfg := DefaultDetectionConfig()
+	cfg.MonitorCounts = []int{150}
+	cfg.Pairs = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := in.RunDetection(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.PollutedBeforeDetection) == 0 {
+			b.Fatal("no latency data")
+		}
+	}
+}
+
+// BenchmarkEngineFastVsReference is the engine ablation: the three-phase
+// DAG engine vs the message-level BGP simulation.
+func BenchmarkEngineFastVsReference(b *testing.B) {
+	cfg := topology.DefaultGenConfig(600)
+	cfg.Seed = 5
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := g.Tier1s()[0]
+	attacker := g.Tier1s()[1]
+	ann := routing.Announcement{Origin: victim, Prepend: 3}
+	atk := routing.Attacker{AS: attacker}
+
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base, err := routing.Propagate(g, ann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := routing.PropagateAttack(g, ann, atk, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routing.PropagateReference(g, ann, &atk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPairFanout is the worker-pool ablation for pair experiments.
+func BenchmarkPairFanout(b *testing.B) {
+	in := benchInternet(b)
+	for _, workers := range []int{1, 4} {
+		name := "workers=1"
+		if workers == 4 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := in.SamplePairs(PairConfig{
+					Kind: PairsRandom, N: 20, Prepend: 3, Seed: 3, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPropagate measures one baseline route propagation.
+func BenchmarkPropagate(b *testing.B) {
+	in := benchInternet(b)
+	victim := in.Tier1s()[0]
+	ann := Announcement{Origin: victim, Prepend: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Propagate(ann); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

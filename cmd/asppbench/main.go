@@ -1,0 +1,576 @@
+// Command asppbench regenerates every table and figure of the paper's
+// evaluation on a generated Internet topology, emitting each data series
+// as TSV plus a short summary (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	asppbench -exp all
+//	asppbench -exp fig9,fig13 -n 2000 -seed 7
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"aspp"
+	"aspp/internal/defense"
+	"aspp/internal/experiment"
+	"aspp/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asppbench:", err)
+		os.Exit(1)
+	}
+}
+
+type benchContext struct {
+	internet *aspp.Internet
+	seed     int64
+	pairs    int
+	out      io.Writer
+}
+
+type experimentFunc func(*benchContext) error
+
+var registry = map[string]experimentFunc{
+	"fig1":   runFig1,
+	"table1": runTable1,
+	"fig5":   runFig5,
+	"fig6":   runFig6,
+	"fig7":   runFig7,
+	"fig8":   runFig8,
+	"fig9":   runFig9,
+	"fig10":  runFig10,
+	"fig11":  runFig11,
+	"fig12":  runFig12,
+	"fig13":  runFig13,
+	"fig14":  runFig14,
+	// Extensions beyond the paper's figures (see EXPERIMENTS.md):
+	"compare":        runCompare,        // §II.B attack families vs detector classes
+	"defense":        runDefense,        // §VIII vantage-point self-defense
+	"inference":      runInference,      // §IV-A relationship-inference accuracy
+	"mitigation":     runMitigation,     // §VII [29] cautious-adoption deployment sweep
+	"susceptibility": runSusceptibility, // §VI-B tier matrix
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asppbench", flag.ContinueOnError)
+	var (
+		exps   = fs.String("exp", "all", "comma-separated experiments (fig1,table1,fig5..fig14) or 'all'")
+		n      = fs.Int("n", 4000, "number of ASes in the generated topology")
+		seed   = fs.Int64("seed", 1, "random seed")
+		pairs  = fs.Int("pairs", 200, "attacker/victim pairs for the detection experiments")
+		topo   = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
+		outDir = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var internet *aspp.Internet
+	var err error
+	if *topo != "" {
+		f, ferr := os.Open(*topo)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		internet, err = aspp.LoadInternet(f)
+	} else {
+		internet, err = aspp.NewInternet(aspp.WithSize(*n), aspp.WithSeed(*seed))
+	}
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	if *exps == "all" {
+		for name := range registry {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return expOrder(names[i]) < expOrder(names[j]) })
+	} else {
+		for _, name := range strings.Split(*exps, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := registry[name]; !ok {
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+			names = append(names, name)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		fmt.Fprintf(out, "### %s\n", name)
+		var tee bytes.Buffer
+		ctx := &benchContext{
+			internet: internet, seed: *seed, pairs: *pairs,
+			out: io.MultiWriter(out, &tee),
+		}
+		if err := registry[name](ctx); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".tsv")
+			if err := os.WriteFile(path, tee.Bytes(), 0o644); err != nil {
+				return fmt.Errorf("%s: write %s: %w", name, path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// expOrder sorts the paper figures in paper order, extensions after.
+func expOrder(name string) int {
+	order := []string{"fig1", "table1", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"compare", "defense", "inference", "mitigation", "susceptibility"}
+	for i, o := range order {
+		if o == name {
+			return i
+		}
+	}
+	return len(order)
+}
+
+func runCompare(ctx *benchContext) error {
+	cfg := experiment.DefaultCompareConfig()
+	cfg.Seed = ctx.seed
+	out, err := experiment.CompareAttackTypes(ctx.internet.Graph(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "attack\tmean_pollution_pct\tpct_moas_detected\tpct_fakelink_detected\tpct_aspp_detected")
+	for _, c := range out {
+		fmt.Fprintf(ctx.out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			c.Type, 100*c.MeanPollution, 100*c.DetectedByMOAS,
+			100*c.DetectedByFakeLink, 100*c.DetectedByASPP)
+	}
+	fmt.Fprintln(ctx.out, "# §II.B quantified: ASPP interception evades MOAS and fake-link detection")
+	return nil
+}
+
+func runDefense(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	var victim aspp.ASN
+	for _, asn := range g.ASNs() {
+		if g.IsStub(asn) && len(g.Providers(asn)) >= 2 {
+			victim = asn
+			break
+		}
+	}
+	if victim == 0 {
+		return fmt.Errorf("no multihomed stub to defend")
+	}
+	cfg := aspp.DefaultDefenseConfig(victim)
+	cfg.Seed = ctx.seed
+	outcomes, err := ctx.internet.CompareDefenses(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "strategy\tpct_detected")
+	for _, o := range outcomes {
+		fmt.Fprintf(ctx.out, "%s\t%.1f\n", o.Strategy, 100*o.DetectedFrac)
+	}
+	fmt.Fprintf(ctx.out, "# victim %v, budget %d monitors, owner-policy detection\n", victim, cfg.Budget)
+	return nil
+}
+
+func runMitigation(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	victim, err := experiment.PickTier1ByDegree(g, 0)
+	if err != nil {
+		return err
+	}
+	attacker, err := experiment.PickTier1ByDegree(g, 1)
+	if err != nil {
+		return err
+	}
+	sc := aspp.Scenario{Victim: victim, Attacker: attacker, Prepend: 4}
+	fracs := []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 1}
+	rnd, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployRandom, ctx.seed)
+	if err != nil {
+		return err
+	}
+	top, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployTopDegree, ctx.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "deploy_frac\tpct_polluted_random_rollout\tpct_polluted_core_first_rollout")
+	for i := range rnd {
+		fmt.Fprintf(ctx.out, "%.2f\t%.1f\t%.1f\n",
+			rnd[i].DeployFrac, 100*rnd[i].Pollution, 100*top[i].Pollution)
+	}
+	fmt.Fprintf(ctx.out, "# PGBGP-style cautious adoption vs %v stripping %v (λ=4)\n", attacker, victim)
+	return nil
+}
+
+func runSusceptibility(ctx *benchContext) error {
+	cfg := experiment.DefaultSusceptibilityConfig()
+	cfg.Seed = ctx.seed
+	cells, err := experiment.SusceptibilityMatrix(ctx.internet.Graph(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "victim_tier\tattacker_tier\tinstances\tmean_pollution_pct\tmax_pollution_pct")
+	for _, c := range cells {
+		fmt.Fprintf(ctx.out, "%d\t%d\t%d\t%.1f\t%.1f\n",
+			c.VictimTier, c.AttackerTier, c.Instances,
+			100*c.MeanPollution, 100*c.MaxPollution)
+	}
+	fmt.Fprintf(ctx.out, "# §VI-B: who hijacks whom, valley-free attacker, λ=%d (tier %d = edge bucket)\n",
+		cfg.Prepend, cfg.MaxTier)
+	return nil
+}
+
+func runInference(ctx *benchContext) error {
+	_, acc, err := ctx.internet.InferRelationships(200, 30)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "metric\tvalue")
+	fmt.Fprintf(ctx.out, "classified_links\t%d\n", acc.Links)
+	fmt.Fprintf(ctx.out, "pct_exact\t%.1f\n", 100*acc.Overall())
+	fmt.Fprintf(ctx.out, "wrong_direction\t%d\n", acc.WrongDirection)
+	fmt.Fprintf(ctx.out, "misclassified\t%d\n", acc.Misclassified)
+	fmt.Fprintln(ctx.out, "# consensus of Gao and tier-1-seeded Gao vs generator ground truth")
+	return nil
+}
+
+func runFig1(ctx *benchContext) error {
+	cs, err := aspp.FacebookCaseStudy(300, ctx.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(ctx.out, cs.AnnouncementChain())
+	outcomes, err := cs.PrefixStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "\nper-prefix view (paper: only the two front-end blocks are affected):")
+	fmt.Fprint(ctx.out, experiment.RenderPrefixStudy(outcomes))
+	return nil
+}
+
+func runTable1(ctx *benchContext) error {
+	cs, err := aspp.FacebookCaseStudy(300, ctx.seed)
+	if err != nil {
+		return err
+	}
+	normal, hijacked := cs.Traceroutes(ctx.seed)
+	fmt.Fprintln(ctx.out, "traceroute to 69.171.224.39 (Facebook) — normal route:")
+	fmt.Fprint(ctx.out, aspp.RenderTraceroute(normal))
+	fmt.Fprintln(ctx.out, "\ntraceroute during the anomaly (via AS4134 / AS9318):")
+	fmt.Fprint(ctx.out, aspp.RenderTraceroute(hijacked))
+	return nil
+}
+
+func (ctx *benchContext) survey() (*aspp.SurveyResult, error) {
+	return ctx.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: ctx.seed})
+}
+
+func runFig5(ctx *benchContext) error {
+	res, err := ctx.survey()
+	if err != nil {
+		return err
+	}
+	series := []struct {
+		name string
+		cdf  func() (*aspp.CDF, error)
+	}{
+		{name: "all_table", cdf: res.TableCDF},
+		{name: "tier1_table", cdf: res.Tier1CDF},
+		{name: "all_updates", cdf: res.UpdateCDF},
+	}
+	var rows [][]float64
+	header := []string{"series", "frac_prefixes_with_prepending", "cdf"}
+	fmt.Fprintln(ctx.out, strings.Join(header, "\t"))
+	for i, s := range series {
+		cdf, err := s.cdf()
+		if err != nil {
+			continue // e.g. no tier-1 monitors: skip the series
+		}
+		for _, p := range cdf.Points() {
+			fmt.Fprintf(ctx.out, "%s\t%.4f\t%.4f\n", s.name, p.X, p.Y)
+		}
+		if i == 0 {
+			fmt.Fprintf(ctx.out, "# mean fraction of prepended table routes: %.3f (paper: ~0.13, up to 0.30)\n", cdf.Mean())
+		}
+	}
+	_ = rows
+	return nil
+}
+
+func runFig6(ctx *benchContext) error {
+	res, err := ctx.survey()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "prepend_count\ttable_fraction\tupdates_fraction")
+	vals := map[int]bool{}
+	for _, v := range res.TablePrependDist.Values() {
+		vals[v] = true
+	}
+	for _, v := range res.UpdatePrependDist.Values() {
+		vals[v] = true
+	}
+	var ordered []int
+	for v := range vals {
+		ordered = append(ordered, v)
+	}
+	sort.Ints(ordered)
+	for _, v := range ordered {
+		fmt.Fprintf(ctx.out, "%d\t%.6f\t%.6f\n", v,
+			res.TablePrependDist.Fraction(v), res.UpdatePrependDist.Fraction(v))
+	}
+	fmt.Fprintf(ctx.out, "# table: f(2)=%.2f f(3)=%.2f (paper: 0.34, 0.22); tail>10: table %.4f\n",
+		res.TablePrependDist.Fraction(2), res.TablePrependDist.Fraction(3), tailAbove(res.TablePrependDist, 10))
+	return nil
+}
+
+func tailAbove(h *stats.Histogram, k int) float64 {
+	t := 0.0
+	for _, v := range h.Values() {
+		if v > k {
+			t += h.Fraction(v)
+		}
+	}
+	return t
+}
+
+func runPairFig(ctx *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
+	pairsResult, err := ctx.internet.SamplePairs(aspp.PairConfig{
+		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: ctx.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "rank\tpct_after\tpct_before\tvictim\tattacker")
+	var sum float64
+	for i, p := range pairsResult {
+		fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\t%d\t%d\n",
+			i+1, 100*p.After, 100*p.Before, p.Victim, p.Attacker)
+		sum += p.After
+	}
+	fmt.Fprintf(ctx.out, "# %s: mean pollution %.1f%% over %d instances (λ=3)\n",
+		label, 100*sum/float64(len(pairsResult)), len(pairsResult))
+	return nil
+}
+
+func runFig7(ctx *benchContext) error {
+	return runPairFig(ctx, aspp.PairsTier1, 80, false, "tier-1 vs tier-1")
+}
+
+func runFig8(ctx *benchContext) error {
+	// The paper's random (mostly tier-4/5) attackers reach up to ~90%
+	// pollution, which requires the bogus route to propagate upward; its
+	// Fig. 2 simulator does not apply the attacker's own export
+	// restriction, so the random-pair figure runs the violating attacker.
+	return runPairFig(ctx, aspp.PairsRandom, 27, true, "random pairs (propagating attacker)")
+}
+
+func runSweepFig(ctx *benchContext, victim, attacker aspp.ASN, both bool, label string) error {
+	follow, err := ctx.internet.SweepPrepend(victim, attacker, 8, false)
+	if err != nil {
+		return err
+	}
+	if !both {
+		fmt.Fprintln(ctx.out, "lambda\tpct_after\tpct_before")
+		for _, p := range follow {
+			fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\n", p.Lambda, 100*p.After, 100*p.Before)
+		}
+	} else {
+		violate, err := ctx.internet.SweepPrepend(victim, attacker, 8, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(ctx.out, "lambda\tpct_follow_valley_free\tpct_violate_policy")
+		for i := range follow {
+			fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\n",
+				follow[i].Lambda, 100*follow[i].After, 100*violate[i].After)
+		}
+	}
+	fmt.Fprintf(ctx.out, "# %s (victim %v, attacker %v)\n", label, victim, attacker)
+	return nil
+}
+
+func runFig9(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	victim, err := experiment.PickTier1ByDegree(g, 0)
+	if err != nil {
+		return err
+	}
+	attacker, err := experiment.PickTier1ByDegree(g, 1)
+	if err != nil {
+		return err
+	}
+	return runSweepFig(ctx, victim, attacker, false, "tier-1 hijacks tier-1 ('Sprint hijacks AT&T')")
+}
+
+func runFig10(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	attacker, err := experiment.PickTier1ByDegree(g, 0)
+	if err != nil {
+		return err
+	}
+	victim, err := experiment.PickContentStub(g)
+	if err != nil {
+		return err
+	}
+	return runSweepFig(ctx, victim, attacker, false, "tier-1 hijacks content stub ('AT&T hijacks Facebook')")
+}
+
+func runFig11(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	attacker, err := experiment.PickContentStub(g)
+	if err != nil {
+		return err
+	}
+	victim, err := experiment.PickTier1ByDegree(g, 2)
+	if err != nil {
+		return err
+	}
+	follow, err := ctx.internet.SweepPrepend(victim, attacker, 8, false)
+	if err != nil {
+		return err
+	}
+	violate, err := ctx.internet.SweepPrepend(victim, attacker, 8, true)
+	if err != nil {
+		return err
+	}
+	// The paper's surprising third case: the victim has a sibling that is
+	// a customer of the attacker (NTT–Limelight), so the interception
+	// spreads widely while obeying valley-free export rules.
+	sib, err := experiment.BuildSiblingScenario(g, victim, attacker, 65530)
+	if err != nil {
+		return err
+	}
+	sibPoints, err := sib.Sweep(8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "lambda\tpct_follow_valley_free\tpct_violate_policy\tpct_follow_with_victim_sibling")
+	for i := range follow {
+		fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\t%.2f\n",
+			follow[i].Lambda, 100*follow[i].After, 100*violate[i].After, 100*sibPoints[i].After)
+	}
+	fmt.Fprintf(ctx.out, "# content stub hijacks tier-1 ('Facebook hijacks NTT'; victim %v, attacker %v, sibling AS65530)\n",
+		victim, attacker)
+	return nil
+}
+
+func runFig12(ctx *benchContext) error {
+	g := ctx.internet.Graph()
+	attacker, err := experiment.PickStub(g, ctx.seed)
+	if err != nil {
+		return err
+	}
+	victim, err := experiment.PickStub(g, ctx.seed+101)
+	if err != nil {
+		return err
+	}
+	if victim == attacker {
+		victim, err = experiment.PickStub(g, ctx.seed+202)
+		if err != nil {
+			return err
+		}
+	}
+	return runSweepFig(ctx, victim, attacker, true, "small AS hijacks small AS")
+}
+
+func (ctx *benchContext) detection() (*aspp.DetectionOutcome, error) {
+	cfg := aspp.DefaultDetectionConfig()
+	cfg.Pairs = ctx.pairs
+	cfg.Seed = ctx.seed
+	// Latency series (Fig. 14) at a coverage-matched monitor count: the
+	// paper's 150 monitors cover ~0.5-0.75% of the 2011 Internet.
+	cfg.LatencyMonitors = ctx.internet.Graph().NumASes() * 3 / 400
+	if cfg.LatencyMonitors < 10 {
+		cfg.LatencyMonitors = 10
+	}
+	return ctx.internet.RunDetection(cfg)
+}
+
+func runFig13(ctx *benchContext) error {
+	out, err := ctx.detection()
+	if err != nil {
+		return err
+	}
+	// Ablation 1: random monitor placement.
+	cfg := aspp.DefaultDetectionConfig()
+	cfg.Pairs = ctx.pairs
+	cfg.Seed = ctx.seed
+	cfg.Policy = aspp.MonitorsRandom
+	rnd, err := ctx.internet.RunDetection(cfg)
+	if err != nil {
+		return err
+	}
+	// Ablation 2: the hint rules fed with *inferred* relationships, as a
+	// real deployment without ground truth must run.
+	inferred, _, err := ctx.internet.InferRelationships(200, 30)
+	if err != nil {
+		return err
+	}
+	cfg = aspp.DefaultDetectionConfig()
+	cfg.Pairs = ctx.pairs
+	cfg.Seed = ctx.seed
+	cfg.Rels = inferred
+	inf, err := ctx.internet.RunDetection(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "monitors\tpct_detected\tpct_high_conf\tpct_attributed\tpct_detected_random_monitors\tpct_detected_inferred_rels")
+	for i, p := range out.Accuracy {
+		fmt.Fprintf(ctx.out, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			p.Monitors, 100*p.Detected, 100*p.High, 100*p.Attributed,
+			100*rnd.Accuracy[i].Detected, 100*inf.Accuracy[i].Detected)
+	}
+	fmt.Fprintf(ctx.out, "# %d effective attacks; paper: 92%% at 70 monitors, >99%% at 150\n", out.UsablePairs)
+	return nil
+}
+
+func runFig14(ctx *benchContext) error {
+	out, err := ctx.detection()
+	if err != nil {
+		return err
+	}
+	// Condition on detection: undetected attacks have no detection time
+	// (their entry saturates at 1.0), and the paper's near-total accuracy
+	// at its monitor scale made the distinction moot.
+	var detected []float64
+	for i, f := range out.PollutedBeforeDetection {
+		if out.LatencyDetected[i] {
+			detected = append(detected, f)
+		}
+	}
+	if len(detected) == 0 {
+		return fmt.Errorf("no detected attacks in the latency run")
+	}
+	cdf, err := stats.NewCDF(detected)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.out, "frac_polluted_before_detection\tcdf")
+	for _, p := range cdf.Points() {
+		fmt.Fprintf(ctx.out, "%.4f\t%.4f\n", p.X, p.Y)
+	}
+	fmt.Fprintf(ctx.out,
+		"# %d of %d attacks detected by the coverage-matched monitor set; 80th percentile: %.2f (paper: 80%% of runs below ~0.37)\n",
+		len(detected), len(out.PollutedBeforeDetection), cdf.Quantile(0.8))
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-n", "500"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "attack:") {
+		t.Errorf("missing attack summary:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("false positives on baseline:\n%s", out)
+	}
+	if !strings.Contains(out, "alarms after the attack") {
+		t.Errorf("missing alarm summary:\n%s", out)
+	}
+	if strings.Contains(out, "NOT detected") {
+		t.Errorf("demo attack went undetected:\n%s", out)
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "updates.log")
+	stream := `# two monitors watching one prefix
+A|1|AS5|69.171.224.0/20|5 1 100 100 100
+A|2|AS2|69.171.224.0/20|2 6 1 100 100 100
+A|3|AS2|69.171.224.0/20|2 6 1 100
+`
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-updates", path, "-monitors", "2,5"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ALARM[high] AS6") {
+		t.Errorf("expected an alarm naming AS6:\n%s", out)
+	}
+	if !strings.Contains(out, "3 updates processed, 1 alarms") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-updates", "x.log"}, &sb); err == nil {
+		t.Error("missing -monitors accepted")
+	}
+	if err := run([]string{"-updates", "/nonexistent", "-monitors", "1"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-updates", "/dev/null", "-monitors", "bogus"}, &sb); err == nil {
+		t.Error("bad monitor list accepted")
+	}
+}
+
+func TestRunDefense(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-defense", "-n", "500", "-budget", "6"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"strategy", "greedy", "top-degree", "victim-cone", "random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("defense output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDefenseBadVictim(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-defense", "-victim", "bogus"}, &sb); err == nil {
+		t.Error("bad victim accepted")
+	}
+}

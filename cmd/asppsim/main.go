@@ -1,0 +1,164 @@
+// Command asppsim simulates a single ASPP-based prefix interception
+// attack and reports its impact: how much of the Internet adopts the
+// stripped route, who was captured, and example path changes.
+//
+// Usage:
+//
+//	asppsim -n 4000 -victim auto -attacker auto -lambda 3
+//	asppsim -topo rels.txt -victim 32934 -attacker 9318 -lambda 5 -keep 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+
+	"aspp"
+	"aspp/internal/bgp"
+	"aspp/internal/collector"
+	"aspp/internal/experiment"
+	"aspp/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asppsim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 4000, "generated topology size")
+		seed     = fs.Int64("seed", 1, "random seed")
+		topo     = fs.String("topo", "", "serial-2 relationship file (overrides -n)")
+		victim   = fs.String("victim", "auto", "victim ASN, or 'auto' (largest tier-1)")
+		attacker = fs.String("attacker", "auto", "attacker ASN, or 'auto' (second tier-1)")
+		lambda   = fs.Int("lambda", 3, "victim's prepend count λ")
+		keep     = fs.Int("keep", 1, "origin copies the attacker leaves")
+		violate  = fs.Bool("violate", false, "attacker ignores valley-free export rules")
+		show     = fs.Int("show", 5, "example captured ASes to print")
+		updOut   = fs.String("updates-out", "", "write the monitors' update stream (steady state + attack) to this file, consumable by asppdetect -updates")
+		nMon     = fs.Int("monitors", 100, "top-degree monitor count for -updates-out")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	internet, err := loadOrGenerate(*topo, *n, *seed)
+	if err != nil {
+		return err
+	}
+	g := internet.Graph()
+
+	v, err := resolveAS(*victim, func() (aspp.ASN, error) {
+		return experiment.PickTier1ByDegree(g, 0)
+	})
+	if err != nil {
+		return fmt.Errorf("victim: %w", err)
+	}
+	m, err := resolveAS(*attacker, func() (aspp.ASN, error) {
+		return experiment.PickTier1ByDegree(g, 1)
+	})
+	if err != nil {
+		return fmt.Errorf("attacker: %w", err)
+	}
+
+	im, err := internet.SimulateAttack(aspp.Scenario{
+		Victim:            v,
+		Attacker:          m,
+		Prepend:           *lambda,
+		KeepPrepend:       *keep,
+		ViolateValleyFree: *violate,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "topology: %d ASes, %d links (victim tier %d, attacker tier %d)\n",
+		g.NumASes(), g.NumLinks(), g.Tier(v), g.Tier(m))
+	fmt.Fprintf(out, "attack:   %v strips %v's prepends (λ=%d -> %d copies kept, violate=%v)\n",
+		m, v, *lambda, *keep, *violate)
+	fmt.Fprintf(out, "before:   %4d ASes (%5.1f%%) routed via the attacker\n",
+		im.PollutedBefore, 100*im.Before())
+	fmt.Fprintf(out, "after:    %4d ASes (%5.1f%%) route via the attacker\n",
+		im.PollutedAfter, 100*im.After())
+	newly := im.NewlyPolluted()
+	fmt.Fprintf(out, "captured: %d ASes switched onto the bogus route\n", len(newly))
+
+	for i, asn := range newly {
+		if i == *show {
+			fmt.Fprintf(out, "  ... and %d more\n", len(newly)-*show)
+			break
+		}
+		before, after := im.PathsAt(asn)
+		fmt.Fprintf(out, "  %v:\n    before: %v\n    after:  %v\n", asn, before, after)
+	}
+
+	if *updOut != "" {
+		if err := writeUpdateStream(*updOut, g, im, *nMon); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "update stream written to %s\n", *updOut)
+	}
+	return nil
+}
+
+// writeUpdateStream emits the monitors' view of the attack as a replayable
+// update stream: first the steady-state announcements, then the changes
+// the attack causes.
+func writeUpdateStream(path string, g *topology.Graph, im *aspp.Impact, nMonitors int) error {
+	monitors := g.TopByDegree(nMonitors)
+	prefix := netip.MustParsePrefix("10.0.0.0/16")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var tm uint64
+	var stream []bgp.Update
+	for _, e := range collector.Snapshot(im.Baseline(), prefix, monitors) {
+		tm++
+		stream = append(stream, bgp.Update{
+			Time: tm, Monitor: e.Monitor, Type: bgp.Announce,
+			Prefix: e.Route.Prefix, Path: e.Route.Path,
+		})
+	}
+	changes, err := collector.StreamTransition(im.Baseline(), im.Attacked(), prefix, monitors, tm)
+	if err != nil {
+		return err
+	}
+	stream = append(stream, changes...)
+	w := bufio.NewWriter(f)
+	for _, u := range stream {
+		if err := bgp.WriteUpdateText(w, u); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func loadOrGenerate(topo string, n int, seed int64) (*aspp.Internet, error) {
+	if topo == "" {
+		return aspp.NewInternet(aspp.WithSize(n), aspp.WithSeed(seed))
+	}
+	f, err := os.Open(topo)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aspp.LoadInternet(f)
+}
+
+func resolveAS(spec string, auto func() (aspp.ASN, error)) (aspp.ASN, error) {
+	if spec == "auto" {
+		return auto()
+	}
+	return aspp.ParseASN(spec)
+}

@@ -1,0 +1,104 @@
+// Command aspptopo generates, inspects and exports AS-level topologies,
+// and reports relationship-inference accuracy (the paper's §IV-A
+// preprocessing) against the generator's ground truth.
+//
+// Usage:
+//
+//	aspptopo -n 4000 -seed 2 -stats
+//	aspptopo -n 4000 -out rels.txt
+//	aspptopo -n 2000 -infer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aspp"
+	"aspp/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aspptopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aspptopo", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 4000, "number of ASes")
+		seed     = fs.Int64("seed", 1, "random seed")
+		topoFile = fs.String("topo", "", "load a serial-2 file instead of generating")
+		outFile  = fs.String("out", "", "write the topology (serial-2) to this file")
+		showStat = fs.Bool("stats", true, "print structural statistics")
+		infer    = fs.Bool("infer", false, "run relationship inference and score it")
+		origins  = fs.Int("infer-origins", 200, "origin sample size for inference")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var internet *aspp.Internet
+	var err error
+	if *topoFile != "" {
+		f, ferr := os.Open(*topoFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		internet, err = aspp.LoadInternet(f)
+	} else {
+		internet, err = aspp.NewInternet(aspp.WithSize(*n), aspp.WithSeed(*seed))
+	}
+	if err != nil {
+		return err
+	}
+	g := internet.Graph()
+
+	if *showStat {
+		if ps, err := topology.MeasurePaths(g, 30); err == nil {
+			fmt.Fprintf(out, "paths:           mean %.1f hops, max %d, reachable %.1f%%\n",
+				ps.MeanHops, ps.MaxHops, 100*ps.ReachableFrac)
+		}
+		s := topology.Stats(g)
+		fmt.Fprintf(out, "ASes:            %d\n", s.ASes)
+		fmt.Fprintf(out, "links:           %d (%d p2c, %d p2p)\n", s.Links, s.P2CLinks, s.P2PLinks)
+		fmt.Fprintf(out, "tier-1 / transit / stubs: %d / %d / %d (max tier %d)\n",
+			s.Tier1, s.Transit, s.Stubs, s.MaxTier)
+		fmt.Fprintf(out, "degree:          mean %.1f, p90 %d, p99 %d, max %d\n",
+			s.MeanDegree, s.DegreeP90, s.DegreeP99, s.MaxDegree)
+		fmt.Fprintf(out, "multihomed:      %.0f%% of non-tier-1 ASes (mean %.2f providers)\n",
+			100*s.MultiHomedFrac, s.MeanProvidersPerNonT1)
+		fmt.Fprintf(out, "peered stubs:    %.0f%%\n", 100*s.PeeredStubFrac)
+	}
+
+	if *infer {
+		_, acc, err := internet.InferRelationships(*origins, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "inference (consensus of Gao and tier-1-seeded Gao):\n")
+		fmt.Fprintf(out, "  classified links:  %d\n", acc.Links)
+		fmt.Fprintf(out, "  exact:             %.1f%% (%d p2c, %d p2p)\n",
+			100*acc.Overall(), acc.CorrectP2C, acc.CorrectP2P)
+		fmt.Fprintf(out, "  wrong direction:   %d\n", acc.WrongDirection)
+		fmt.Fprintf(out, "  misclassified:     %d\n", acc.Misclassified)
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := internet.WriteTopology(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outFile)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStatsAndExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rels.txt")
+	var sb strings.Builder
+	if err := run([]string{"-n", "400", "-seed", "3", "-out", out}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ASes:") || !strings.Contains(sb.String(), "tier-1") {
+		t.Errorf("stats missing:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("export not written: %v", err)
+	}
+	if !strings.Contains(string(data), "|-1") {
+		t.Error("export missing p2c links")
+	}
+
+	// The export loads back.
+	var sb2 strings.Builder
+	if err := run([]string{"-topo", out}, &sb2); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if !strings.Contains(sb2.String(), "ASes:            400") {
+		t.Errorf("reload stats wrong:\n%s", sb2.String())
+	}
+}
+
+func TestRunInfer(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "400", "-infer", "-infer-origins", "60"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "classified links:") {
+		t.Errorf("inference report missing:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topo", "/nonexistent"}, &sb); err == nil {
+		t.Error("missing topo accepted")
+	}
+	if err := run([]string{"-n", "4"}, &sb); err == nil {
+		t.Error("tiny n accepted")
+	}
+}

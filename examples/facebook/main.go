@@ -1,0 +1,36 @@
+// Facebook case study: replays the March 22, 2011 routing anomaly the
+// paper's Section III documents. Facebook (AS32934) announced
+// 69.171.224.0/20 with five copies of its ASN; the Korean ISP AS9318
+// re-advertised it with only three, and the shorter route — crossing the
+// Pacific twice via China Telecom (AS4134) — was adopted by AT&T, NTT and
+// most of the Internet. The example regenerates the paper's Fig. 1
+// announcement chain and Table I traceroutes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspp"
+)
+
+func main() {
+	cs, err := aspp.FacebookCaseStudy(300 /* backdrop ASes */, 1 /* seed */)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Fig. 1: announcement chain before/after the anomaly ===")
+	fmt.Print(cs.AnnouncementChain())
+
+	normal, hijacked := cs.Traceroutes(1)
+	fmt.Println("\n=== Table I: traceroute from an AT&T customer to Facebook ===")
+	fmt.Println("normal route (via Level3):")
+	fmt.Print(aspp.RenderTraceroute(normal))
+	fmt.Println("\nduring the anomaly (via China Telecom and AS9318):")
+	fmt.Print(aspp.RenderTraceroute(hijacked))
+
+	last := func(h []aspp.TraceHop) int64 { return h[len(h)-1].RTT.Milliseconds() }
+	fmt.Printf("\nRTT to Facebook: %d ms normally, %d ms during the anomaly (%.1fx)\n",
+		last(normal), last(hijacked), float64(last(hijacked))/float64(last(normal)))
+}

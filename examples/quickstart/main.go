@@ -1,0 +1,47 @@
+// Quickstart: generate an Internet-like topology, launch one ASPP-based
+// prefix interception attack, and report how much of the Internet the
+// attacker captures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspp"
+)
+
+func main() {
+	// A 2000-AS synthetic Internet: tier-1 clique, transit hierarchy,
+	// multihomed stub edge. Same seed, same topology.
+	internet, err := aspp.NewInternet(aspp.WithSize(2000), aspp.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a victim and an attacker from the tier-1 core.
+	t1 := internet.Tier1s()
+	victim, attacker := t1[0], t1[1]
+
+	// The victim pads its announcement with three copies of its ASN
+	// (ordinary traffic engineering); the attacker strips two of them and
+	// re-advertises the now-shorter route.
+	impact, err := internet.SimulateAttack(aspp.Scenario{
+		Victim:   victim,
+		Attacker: attacker,
+		Prepend:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("victim %v announces with λ=3; attacker %v strips to 1\n", victim, attacker)
+	fmt.Printf("before the attack: %5.1f%% of ASes routed via the attacker\n", 100*impact.Before())
+	fmt.Printf("after the attack:  %5.1f%% of ASes route via the attacker\n", 100*impact.After())
+
+	// Show one captured AS's route change.
+	if captured := impact.NewlyPolluted(); len(captured) > 0 {
+		asn := captured[0]
+		before, after := impact.PathsAt(asn)
+		fmt.Printf("\nexample: %v\n  before: %v\n  after:  %v\n", asn, before, after)
+	}
+}

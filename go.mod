@@ -1,0 +1,3 @@
+module aspp
+
+go 1.22

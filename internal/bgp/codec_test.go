@@ -1,0 +1,252 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomUpdate(rng *rand.Rand, tm uint64) Update {
+	u := Update{
+		Time:    tm,
+		Monitor: ASN(1 + rng.Intn(64000)),
+	}
+	if rng.Intn(2) == 0 {
+		u.Prefix = netip.PrefixFrom(
+			netip.AddrFrom4([4]byte{byte(1 + rng.Intn(223)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0}),
+			8+rng.Intn(17),
+		).Masked()
+	} else {
+		u.Prefix = netip.PrefixFrom(
+			netip.AddrFrom16([16]byte{0x20, 0x01, byte(rng.Intn(256)), byte(rng.Intn(256))}),
+			16+rng.Intn(33),
+		).Masked()
+	}
+	if rng.Intn(5) == 0 {
+		u.Type = Withdraw
+		return u
+	}
+	u.Type = Announce
+	u.Path = randomPath(rng)
+	return u
+}
+
+func TestUpdateValidate(t *testing.T) {
+	pfx := netip.MustParsePrefix("10.0.0.0/8")
+	tests := []struct {
+		name    string
+		give    Update
+		wantErr bool
+	}{
+		{
+			name: "valid announce",
+			give: Update{Type: Announce, Monitor: 7018, Prefix: pfx, Path: Path{1, 2}},
+		},
+		{
+			name: "valid withdraw",
+			give: Update{Type: Withdraw, Monitor: 7018, Prefix: pfx},
+		},
+		{
+			name:    "zero monitor",
+			give:    Update{Type: Announce, Prefix: pfx, Path: Path{1}},
+			wantErr: true,
+		},
+		{
+			name:    "empty announce path",
+			give:    Update{Type: Announce, Monitor: 1, Prefix: pfx},
+			wantErr: true,
+		},
+		{
+			name:    "withdraw with path",
+			give:    Update{Type: Withdraw, Monitor: 1, Prefix: pfx, Path: Path{1}},
+			wantErr: true,
+		},
+		{
+			name:    "invalid prefix",
+			give:    Update{Type: Announce, Monitor: 1, Path: Path{1}},
+			wantErr: true,
+		},
+		{
+			name:    "bad type",
+			give:    Update{Type: 9, Monitor: 1, Prefix: pfx},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func() bool {
+		u := randomUpdate(rng, uint64(rng.Intn(1<<30)))
+		var buf bytes.Buffer
+		if err := WriteUpdateBinary(&buf, u); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := ReadUpdateBinary(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return got.Time == u.Time && got.Monitor == u.Monitor &&
+			got.Type == u.Type && got.Prefix == u.Prefix && got.Path.Equal(u.Path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	updates := make([]Update, 50)
+	for i := range updates {
+		updates[i] = randomUpdate(rng, uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdatesBinary(&buf, updates); err != nil {
+		t.Fatalf("WriteUpdatesBinary: %v", err)
+	}
+	got, err := ReadUpdatesBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadUpdatesBinary: %v", err)
+	}
+	if len(got) != len(updates) {
+		t.Fatalf("got %d records, want %d", len(got), len(updates))
+	}
+	for i := range got {
+		if !got[i].Path.Equal(updates[i].Path) || got[i].Prefix != updates[i].Prefix {
+			t.Errorf("record %d mismatch: got %v want %v", i, got[i], updates[i])
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadUpdateBinary(bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef})); err == nil {
+		t.Error("decoding garbage succeeded")
+	}
+	// Truncated record: valid magic then nothing.
+	if _, err := ReadUpdateBinary(bytes.NewReader([]byte{0xa5, 0xbb})); err == nil {
+		t.Error("decoding truncated record succeeded")
+	}
+}
+
+func TestTextRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func() bool {
+		u := randomUpdate(rng, uint64(rng.Intn(1<<30)))
+		got, err := ParseUpdateText(u.String())
+		if err != nil {
+			t.Logf("parse %q: %v", u.String(), err)
+			return false
+		}
+		return got.Time == u.Time && got.Monitor == u.Monitor &&
+			got.Type == u.Type && got.Prefix == u.Prefix && got.Path.Equal(u.Path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadUpdatesTextSkipsComments(t *testing.T) {
+	in := `# RouteViews-style export
+A|5|AS7018|69.171.224.0/20|4134 9318 32934 32934 32934
+
+W|6|AS7018|69.171.255.0/24
+`
+	got, err := ReadUpdatesText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadUpdatesText: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d updates, want 2", len(got))
+	}
+	if got[0].Type != Announce || got[1].Type != Withdraw {
+		t.Errorf("types = %v,%v", got[0].Type, got[1].Type)
+	}
+	if got[0].Path.OriginPrepend() != 3 {
+		t.Errorf("origin prepend = %d, want 3", got[0].Path.OriginPrepend())
+	}
+}
+
+func TestParseUpdateTextErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"X|1|AS1|10.0.0.0/8|1 2",
+		"A|z|AS1|10.0.0.0/8|1 2",
+		"A|1|ASx|10.0.0.0/8|1 2",
+		"A|1|AS1|nonsense|1 2",
+		"A|1|AS1|10.0.0.0/8",       // announce missing path
+		"W|1|AS1|10.0.0.0/8|1 2",   // withdraw with path
+		"A|1|AS1|10.0.0.0/8|1 2|3", // extra field
+	}
+	for _, line := range bad {
+		if _, err := ParseUpdateText(line); err == nil {
+			t.Errorf("ParseUpdateText(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	r := Route{
+		Prefix: netip.MustParsePrefix("69.171.224.0/20"),
+		Path:   Path{7018, 3356, 32934},
+	}
+	if got, want := r.String(), "69.171.224.0/20 via 7018 3356 32934"; got != want {
+		t.Errorf("Route.String() = %q, want %q", got, want)
+	}
+	if !r.Valid() {
+		t.Error("route reported invalid")
+	}
+	if (Route{}).Valid() {
+		t.Error("zero route reported valid")
+	}
+}
+
+func TestBinaryDecoderRobustToCorruption(t *testing.T) {
+	// Flipping any byte of a valid record must produce a clean error or a
+	// (different) valid decode — never a panic or a hang.
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 300; trial++ {
+		u := randomUpdate(rng, uint64(trial))
+		var buf bytes.Buffer
+		if err := WriteUpdateBinary(&buf, u); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		pos := rng.Intn(len(raw))
+		raw[pos] ^= byte(1 + rng.Intn(255))
+		got, err := ReadUpdateBinary(bytes.NewReader(raw))
+		if err == nil {
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("trial %d: corrupt record decoded to invalid update: %v", trial, verr)
+			}
+		}
+	}
+}
+
+func TestTextParserRobustToCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		u := randomUpdate(rng, uint64(trial))
+		line := []byte(u.String())
+		pos := rng.Intn(len(line))
+		line[pos] ^= byte(1 + rng.Intn(127))
+		got, err := ParseUpdateText(string(line))
+		if err == nil {
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("trial %d: corrupt line parsed to invalid update: %v", trial, verr)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"aspp/internal/bgp"
+	"aspp/internal/routing"
+)
+
+// TableEntry is one row of a vantage point's routing-table snapshot.
+type TableEntry struct {
+	Monitor bgp.ASN
+	Route   bgp.Route
+}
+
+// WriteTable writes table entries as text, one per line:
+//
+//	T|<monitor>|<prefix>|<path>
+func WriteTable(w io.Writer, entries []TableEntry) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range entries {
+		if !e.Route.Valid() || e.Monitor == 0 {
+			return fmt.Errorf("collector: invalid table entry %d", i)
+		}
+		if _, err := fmt.Fprintf(bw, "T|%s|%s|%s\n",
+			e.Monitor, e.Route.Prefix, e.Route.Path); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTable parses a table snapshot written by WriteTable, skipping blank
+// lines and '#' comments.
+func ReadTable(r io.Reader) ([]TableEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []TableEntry
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 4 || fields[0] != "T" {
+			return nil, fmt.Errorf("collector: line %d: want T|monitor|prefix|path", lineno)
+		}
+		mon, err := bgp.ParseASN(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("collector: line %d: %w", lineno, err)
+		}
+		pfx, err := netip.ParsePrefix(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("collector: line %d: %w", lineno, err)
+		}
+		path, err := bgp.ParsePath(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("collector: line %d: %w", lineno, err)
+		}
+		out = append(out, TableEntry{
+			Monitor: mon,
+			Route:   bgp.Route{Prefix: pfx, Path: path},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("collector: read table: %w", err)
+	}
+	return out, nil
+}
+
+// Snapshot extracts monitor-table entries for one prefix from a routing
+// result, sorted by monitor.
+func Snapshot(res *routing.Result, prefix netip.Prefix, monitors []bgp.ASN) []TableEntry {
+	out := make([]TableEntry, 0, len(monitors))
+	for _, m := range monitors {
+		if p := res.PathOf(m); p != nil {
+			out = append(out, TableEntry{
+				Monitor: m,
+				Route:   bgp.Route{Prefix: prefix, Path: p},
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Monitor < out[b].Monitor })
+	return out
+}
+
+// StreamTransition builds the update stream the monitors would emit when
+// routing shifts from the "before" to the "after" result for one prefix:
+// an announcement for every changed best route, a withdrawal for every
+// lost one. Times start at startTime and increase per update; updates are
+// ordered by monitor for determinism.
+func StreamTransition(before, after *routing.Result, prefix netip.Prefix, monitors []bgp.ASN, startTime uint64) ([]bgp.Update, error) {
+	if !prefix.IsValid() {
+		return nil, errors.New("collector: invalid prefix")
+	}
+	sorted := append([]bgp.ASN(nil), monitors...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var out []bgp.Update
+	tm := startTime
+	for _, m := range sorted {
+		oldPath := before.PathOf(m)
+		newPath := after.PathOf(m)
+		switch {
+		case newPath == nil && oldPath == nil:
+			continue
+		case newPath == nil:
+			tm++
+			out = append(out, bgp.Update{
+				Time: tm, Monitor: m, Type: bgp.Withdraw, Prefix: prefix,
+			})
+		case oldPath.Equal(newPath):
+			continue
+		default:
+			tm++
+			out = append(out, bgp.Update{
+				Time: tm, Monitor: m, Type: bgp.Announce, Prefix: prefix, Path: newPath,
+			})
+		}
+	}
+	return out, nil
+}

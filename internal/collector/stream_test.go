@@ -1,0 +1,153 @@
+package collector
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+func streamFixture(t *testing.T) (*topology.Graph, *core.Impact, netip.Prefix) {
+	t.Helper()
+	b := topology.NewBuilder()
+	for _, e := range [][2]bgp.ASN{
+		{10, 30}, {10, 40}, {20, 50}, {30, 100}, {40, 70}, {50, 70},
+	} {
+		if err := b.AddP2C(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddP2P(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := core.Simulate(g, core.Scenario{Victim: 100, Attacker: 50, Prepend: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, im, netip.MustParsePrefix("10.9.0.0/16")
+}
+
+func TestSnapshotAndTableRoundTrip(t *testing.T) {
+	g, im, pfx := streamFixture(t)
+	monitors := g.ASNs()
+	entries := Snapshot(im.Baseline(), pfx, monitors)
+	if len(entries) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Monitor >= entries[i].Monitor {
+			t.Fatal("snapshot not sorted by monitor")
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTable(&sb, entries); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	back, err := ReadTable(strings.NewReader("# comment\n\n" + sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTable: %v", err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip %d entries, want %d", len(back), len(entries))
+	}
+	for i := range back {
+		if back[i].Monitor != entries[i].Monitor || !back[i].Route.Equal(entries[i].Route) {
+			t.Errorf("entry %d mismatch: %v vs %v", i, back[i], entries[i])
+		}
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	bad := []string{
+		"X|AS1|10.0.0.0/8|1 2",
+		"T|AS1|10.0.0.0/8",
+		"T|bogus|10.0.0.0/8|1 2",
+		"T|AS1|bogus|1 2",
+		"T|AS1|10.0.0.0/8|x",
+	}
+	for _, in := range bad {
+		if _, err := ReadTable(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTable(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWriteTableRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTable(&sb, []TableEntry{{Monitor: 0}})
+	if err == nil {
+		t.Error("invalid entry accepted")
+	}
+}
+
+func TestStreamTransition(t *testing.T) {
+	g, im, pfx := streamFixture(t)
+	monitors := g.ASNs()
+	updates, err := StreamTransition(im.Baseline(), im.Attacked(), pfx, monitors, 100)
+	if err != nil {
+		t.Fatalf("StreamTransition: %v", err)
+	}
+	// Only 70 switches routes in this scenario (see routing tests).
+	if len(updates) != 1 {
+		t.Fatalf("got %d updates, want 1: %v", len(updates), updates)
+	}
+	u := updates[0]
+	if u.Monitor != 70 || u.Type != bgp.Announce || u.Time != 101 {
+		t.Errorf("update = %+v", u)
+	}
+	if u.Path.String() != "50 20 10 30 100" {
+		t.Errorf("update path = %q", u.Path)
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("emitted invalid update: %v", err)
+	}
+}
+
+func TestStreamTransitionWithdraw(t *testing.T) {
+	// Failing the victim's only upstream withdraws it everywhere.
+	g, _, pfx := streamFixture(t)
+	ann := routing.Announcement{Origin: 100, Prepend: 2}
+	before, err := routing.Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann.Withhold = map[bgp.ASN]bool{30: true}
+	after, err := routing.Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := StreamTransition(before, after, pfx, g.ASNs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withdraws := 0
+	for _, u := range updates {
+		if u.Type == bgp.Withdraw {
+			withdraws++
+		}
+	}
+	if withdraws == 0 {
+		t.Errorf("no withdrawals in %v", updates)
+	}
+	// Times strictly increase.
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Time <= updates[i-1].Time {
+			t.Error("update times not increasing")
+		}
+	}
+}
+
+func TestStreamTransitionInvalidPrefix(t *testing.T) {
+	_, im, _ := streamFixture(t)
+	if _, err := StreamTransition(im.Baseline(), im.Attacked(), netip.Prefix{}, nil, 0); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// AttackType enumerates the prefix-hijack families the paper contrasts
+// (§II.B): the two classic baselines and the ASPP-based interception that
+// is its contribution.
+type AttackType uint8
+
+const (
+	// AttackASPP is the paper's attack: strip the victim's prepends. No
+	// false origin, no fabricated link.
+	AttackASPP AttackType = iota + 1
+	// AttackOriginHijack: the attacker announces the prefix as its own
+	// ([M]). Blackholes traffic; trips MOAS detectors.
+	AttackOriginHijack
+	// AttackNextHopInterception (Ballani et al.): the attacker announces
+	// [M V], keeping the true origin but fabricating the M–V adjacency.
+	// Intercepts traffic; trips topology-anomaly detectors.
+	AttackNextHopInterception
+)
+
+// String names the attack type.
+func (t AttackType) String() string {
+	switch t {
+	case AttackASPP:
+		return "aspp-interception"
+	case AttackOriginHijack:
+		return "origin-hijack"
+	case AttackNextHopInterception:
+		return "next-hop-interception"
+	default:
+		return fmt.Sprintf("AttackType(%d)", uint8(t))
+	}
+}
+
+// BaselineImpact is the outcome of one baseline (forged-announcement)
+// attack, with the same pollution metric as Impact.
+type BaselineImpact struct {
+	Type             AttackType
+	Victim, Attacker bgp.ASN
+	// Eligible, PollutedAfter: as in Impact; Before uses the honest state.
+	Eligible       int
+	PollutedBefore int
+	PollutedAfter  int
+
+	honest   *routing.MultiResult
+	attacked *routing.MultiResult
+}
+
+// Before and After return pollution fractions.
+func (b *BaselineImpact) Before() float64 { return frac(b.PollutedBefore, b.Eligible) }
+
+// After returns the attacked pollution fraction.
+func (b *BaselineImpact) After() float64 { return frac(b.PollutedAfter, b.Eligible) }
+
+// Honest and Attacked expose the underlying multi-origin outcomes.
+func (b *BaselineImpact) Honest() *routing.MultiResult   { return b.honest }
+func (b *BaselineImpact) Attacked() *routing.MultiResult { return b.attacked }
+
+// SimulateBaseline runs one of the classic hijack baselines for the same
+// victim/attacker/λ setting the ASPP scenarios use, so the three attack
+// families are directly comparable.
+func SimulateBaseline(g *topology.Graph, typ AttackType, victim, attacker bgp.ASN, prepend int) (*BaselineImpact, error) {
+	if victim == attacker {
+		return nil, errors.New("core: victim and attacker must differ")
+	}
+	if !g.Has(victim) || !g.Has(attacker) {
+		return nil, fmt.Errorf("core: victim %v or attacker %v not in topology", victim, attacker)
+	}
+	if prepend < 1 {
+		return nil, errors.New("core: prepend must be >= 1")
+	}
+
+	honestSeed := routing.Seed{AS: victim, Path: repeatPath(victim, prepend)}
+	honest, err := routing.PropagateSeeds(g, []routing.Seed{honestSeed})
+	if err != nil {
+		return nil, fmt.Errorf("core: honest propagation: %w", err)
+	}
+
+	var forged routing.Seed
+	switch typ {
+	case AttackOriginHijack:
+		forged = routing.Seed{AS: attacker, Path: bgp.Path{attacker}}
+	case AttackNextHopInterception:
+		forged = routing.Seed{AS: attacker, Path: bgp.Path{attacker, victim}}
+	default:
+		return nil, fmt.Errorf("core: SimulateBaseline handles the forged-announcement baselines, not %v", typ)
+	}
+	attacked, err := routing.PropagateSeeds(g, []routing.Seed{honestSeed, forged})
+	if err != nil {
+		return nil, fmt.Errorf("core: attack propagation: %w", err)
+	}
+
+	out := &BaselineImpact{
+		Type:     typ,
+		Victim:   victim,
+		Attacker: attacker,
+		honest:   honest,
+		attacked: attacked,
+	}
+	vIdx := mustIdx(g, victim)
+	aIdx := mustIdx(g, attacker)
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		if i == vIdx || i == aIdx || honest.Paths[i] == nil {
+			continue
+		}
+		out.Eligible++
+		if honest.Paths[i].Contains(attacker) {
+			out.PollutedBefore++
+		}
+		if attacked.Paths[i] != nil && attacked.Paths[i].Contains(attacker) {
+			out.PollutedAfter++
+		}
+	}
+	return out, nil
+}
+
+func repeatPath(asn bgp.ASN, n int) bgp.Path {
+	p := make(bgp.Path, n)
+	for i := range p {
+		p[i] = asn
+	}
+	return p
+}

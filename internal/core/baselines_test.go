@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/routing"
+)
+
+func TestSimulateBaselineOriginHijack(t *testing.T) {
+	g := coreGraph(t)
+	bi, err := SimulateBaseline(g, AttackOriginHijack, 100, 200, 3)
+	if err != nil {
+		t.Fatalf("SimulateBaseline: %v", err)
+	}
+	// The hijacker's forged [200] route (length 1, exported up as a
+	// customer route by its providers) must capture a large share.
+	if bi.After() <= bi.Before() {
+		t.Errorf("origin hijack captured nothing: %.3f -> %.3f", bi.Before(), bi.After())
+	}
+	// MOAS must be visible: some ASes now see origin 200.
+	byOrigin := bi.Attacked().CountByOrigin()
+	if byOrigin[200] == 0 || byOrigin[100] == 0 {
+		t.Errorf("origin split = %v, want both origins present", byOrigin)
+	}
+	// The honest state has a single origin.
+	if got := bi.Honest().CountByOrigin(); len(got) != 1 || got[100] == 0 {
+		t.Errorf("honest origins = %v", got)
+	}
+}
+
+func TestSimulateBaselineNextHop(t *testing.T) {
+	g := coreGraph(t)
+	bi, err := SimulateBaseline(g, AttackNextHopInterception, 100, 200, 3)
+	if err != nil {
+		t.Fatalf("SimulateBaseline: %v", err)
+	}
+	if bi.After() <= 0 {
+		t.Error("next-hop interception captured nobody")
+	}
+	// Every captured path keeps the true origin but carries the forged
+	// 200-100 adjacency.
+	for _, asn := range g.ASNs() {
+		p := bi.Attacked().PathOf(asn)
+		if p == nil || !p.Contains(200) || asn == 200 {
+			continue
+		}
+		if o, _ := p.Origin(); o != 100 {
+			t.Errorf("%v's hijacked path %v has wrong origin", asn, p)
+		}
+	}
+	if g.RelOf(200, 100) != 0 {
+		t.Fatal("fixture broken: 200-100 must not be adjacent")
+	}
+}
+
+func TestSimulateBaselineValidation(t *testing.T) {
+	g := coreGraph(t)
+	if _, err := SimulateBaseline(g, AttackOriginHijack, 100, 100, 3); err == nil {
+		t.Error("victim == attacker accepted")
+	}
+	if _, err := SimulateBaseline(g, AttackOriginHijack, 100, 99999, 3); err == nil {
+		t.Error("unknown attacker accepted")
+	}
+	if _, err := SimulateBaseline(g, AttackOriginHijack, 100, 200, 0); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := SimulateBaseline(g, AttackASPP, 100, 200, 3); err == nil {
+		t.Error("ASPP type accepted by the baseline simulator")
+	}
+}
+
+func TestPropagateSeedsSingleSeedMatchesFastEngine(t *testing.T) {
+	// With one honest seed, multi-seed propagation must agree with the
+	// standard engine path-for-path.
+	g := coreGraph(t)
+	lambda := 3
+	multi, err := routing.PropagateSeeds(g, []routing.Seed{
+		{AS: 100, Path: bgp.Path{100, 100, 100}},
+	})
+	if err != nil {
+		t.Fatalf("PropagateSeeds: %v", err)
+	}
+	fast, err := routing.Propagate(g, routing.Announcement{Origin: 100, Prepend: lambda})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range g.ASNs() {
+		if asn == 100 {
+			continue
+		}
+		got := multi.PathOf(asn)
+		want := fast.PathOf(asn)
+		if !got.Equal(want) {
+			t.Errorf("%v: multi %v vs fast %v", asn, got, want)
+		}
+	}
+}
+
+func TestPropagateSeedsValidation(t *testing.T) {
+	g := coreGraph(t)
+	if _, err := routing.PropagateSeeds(g, nil); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := routing.PropagateSeeds(g, []routing.Seed{{AS: 100}}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := routing.PropagateSeeds(g, []routing.Seed{{AS: 100, Path: bgp.Path{999}}}); err == nil {
+		t.Error("path not starting with announcer accepted")
+	}
+	if _, err := routing.PropagateSeeds(g, []routing.Seed{{AS: 424242, Path: bgp.Path{424242}}}); err == nil {
+		t.Error("unknown announcer accepted")
+	}
+}
+
+func TestAttackTypeStrings(t *testing.T) {
+	for _, typ := range []AttackType{AttackASPP, AttackOriginHijack, AttackNextHopInterception} {
+		if s := typ.String(); s == "" || s[0] == 'A' && s[1] == 't' {
+			t.Errorf("missing name for %d: %q", typ, s)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's primary contribution: the ASPP-based
+// prefix interception attack model and its impact quantification.
+//
+// A victim AS V announces its prefix with λ copies of its own ASN (AS-path
+// prepending, a routine traffic-engineering practice). The attacker M, upon
+// receiving the route [* V...V], removes λ−1 of the prepended copies and
+// re-advertises [M * V]. Because the modified route is λ−1 hops shorter —
+// while introducing no false origin and no non-existent AS link — much of
+// the Internet may switch to it, letting M intercept traffic that still
+// ultimately reaches V.
+//
+// Simulate quantifies the attack on a given topology: which ASes adopt the
+// bogus route ("polluted"), compared against how many traversed M before
+// the attack.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aspp/internal/bgp"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// Scenario is one interception-attack instance.
+type Scenario struct {
+	// Victim is the prefix owner (origin AS).
+	Victim bgp.ASN
+	// Attacker is the intercepting AS.
+	Attacker bgp.ASN
+	// Prepend λ is the victim's origin-prepend count (>= 1).
+	Prepend int
+	// PerNeighborPrepend optionally varies λ per victim neighbor.
+	PerNeighborPrepend map[bgp.ASN]int
+	// WithholdFrom lists victim neighbors that do not receive the
+	// announcement at all (selective announcement or failed session).
+	WithholdFrom []bgp.ASN
+	// KeepPrepend is how many origin copies the attacker leaves (default 1).
+	KeepPrepend int
+	// ViolateValleyFree makes the attacker export the bogus route to all
+	// neighbors, ignoring export policy (paper Figs. 11-12).
+	ViolateValleyFree bool
+}
+
+func (s Scenario) String() string {
+	return fmt.Sprintf("%v hijacks %v (λ=%d, violate=%v)",
+		s.Attacker, s.Victim, s.Prepend, s.ViolateValleyFree)
+}
+
+// announcement converts the scenario into the routing-layer announcement.
+func (s Scenario) announcement() routing.Announcement {
+	ann := routing.Announcement{
+		Origin:      s.Victim,
+		Prepend:     s.Prepend,
+		PerNeighbor: s.PerNeighborPrepend,
+	}
+	if len(s.WithholdFrom) > 0 {
+		ann.Withhold = make(map[bgp.ASN]bool, len(s.WithholdFrom))
+		for _, n := range s.WithholdFrom {
+			ann.Withhold[n] = true
+		}
+	}
+	return ann
+}
+
+// attacker converts the scenario into the routing-layer attacker.
+func (s Scenario) attacker() routing.Attacker {
+	return routing.Attacker{
+		AS:                s.Attacker,
+		KeepPrepend:       s.KeepPrepend,
+		ViolateValleyFree: s.ViolateValleyFree,
+	}
+}
+
+// ErrAttackerSeesNoRoute reports that the attacker never receives the
+// victim's route and therefore cannot launch the interception.
+var ErrAttackerSeesNoRoute = errors.New("core: attacker receives no route for the victim prefix")
+
+// Impact is the outcome of one simulated attack.
+type Impact struct {
+	Scenario Scenario
+
+	// Eligible is the number of ASes that could be polluted: every AS
+	// with a route, excluding the victim and the attacker.
+	Eligible int
+	// PollutedAfter is how many eligible ASes route via the attacker
+	// under the attack; PollutedBefore is the same count beforehand.
+	PollutedBefore, PollutedAfter int
+
+	baseline *routing.Result
+	attacked *routing.Result
+	viaBase  []bool
+}
+
+// Before returns the fraction of eligible ASes whose traffic to the victim
+// traversed the attacker before the attack.
+func (im *Impact) Before() float64 { return frac(im.PollutedBefore, im.Eligible) }
+
+// After returns the fraction polluted by the attack — the paper's
+// "% of paths traversing attacker" metric.
+func (im *Impact) After() float64 { return frac(im.PollutedAfter, im.Eligible) }
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Baseline exposes the pre-attack routing outcome.
+func (im *Impact) Baseline() *routing.Result { return im.baseline }
+
+// Attacked exposes the under-attack routing outcome.
+func (im *Impact) Attacked() *routing.Result { return im.attacked }
+
+// PollutedASes lists the ASes that adopt the bogus route, sorted by ASN.
+func (im *Impact) PollutedASes() []bgp.ASN {
+	g := im.attacked.Graph()
+	var out []bgp.ASN
+	for i, v := range im.attacked.Via {
+		if v && int32(i) != mustIdx(g, im.Scenario.Attacker) {
+			out = append(out, g.ASNAt(int32(i)))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// NewlyPolluted lists ASes that traverse the attacker under attack but did
+// not before — the ASes the attack actually captured.
+func (im *Impact) NewlyPolluted() []bgp.ASN {
+	g := im.attacked.Graph()
+	var out []bgp.ASN
+	for i, v := range im.attacked.Via {
+		if v && !im.viaBase[i] {
+			out = append(out, g.ASNAt(int32(i)))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// PathsAt returns an AS's best path before and after the attack.
+func (im *Impact) PathsAt(asn bgp.ASN) (before, after bgp.Path) {
+	return im.baseline.PathOf(asn), im.attacked.PathOf(asn)
+}
+
+// IsPolluted reports whether asn adopted the bogus route.
+func (im *Impact) IsPolluted(asn bgp.ASN) bool {
+	g := im.attacked.Graph()
+	i, ok := g.Index(asn)
+	if !ok {
+		return false
+	}
+	return im.attacked.Via[i]
+}
+
+// HopsFromAttacker returns the number of AS hops between a polluted AS and
+// the attacker along its polluted path (1 = direct neighbor), or -1 if the
+// AS is not polluted. The detection-latency experiment uses this as the
+// bogus route's propagation time to that AS.
+func (im *Impact) HopsFromAttacker(asn bgp.ASN) int {
+	g := im.attacked.Graph()
+	i, ok := g.Index(asn)
+	if !ok || !im.attacked.Via[i] {
+		return -1
+	}
+	atkIdx := mustIdx(g, im.Scenario.Attacker)
+	hops := 0
+	for j := i; j != atkIdx; j = im.attacked.Parent[j] {
+		hops++
+	}
+	return hops
+}
+
+func mustIdx(g *topology.Graph, asn bgp.ASN) int32 {
+	i, _ := g.Index(asn)
+	return i
+}
+
+// BaselineOnly propagates the scenario's announcement with no attacker
+// active (used by mitigation analysis to measure reachability costs of a
+// response that cuts the attacker off).
+func BaselineOnly(g *topology.Graph, sc Scenario) (*routing.Result, error) {
+	ann := sc.announcement()
+	if g.HasSiblings() {
+		return routing.PropagateReference(g, ann, nil)
+	}
+	return routing.Propagate(g, ann)
+}
+
+// simulateReference runs both propagations on the message-level engine,
+// which handles sibling links. The reference engine degrades an
+// unreachable attacker to a no-op, so reachability is checked explicitly
+// to preserve ErrAttackerSeesNoRoute semantics.
+func simulateReference(g *topology.Graph, ann routing.Announcement, sc Scenario) (baseline, attacked *routing.Result, err error) {
+	baseline, err = routing.PropagateReference(g, ann, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: baseline: %w", err)
+	}
+	if !baseline.Reachable(sc.Attacker) {
+		return nil, nil, routing.ErrUnreachableAttacker
+	}
+	atk := sc.attacker()
+	attacked, err = routing.PropagateReference(g, ann, &atk)
+	return baseline, attacked, err
+}
+
+// Simulate runs one interception attack: a baseline propagation of the
+// victim's announcement, then the attack propagation, and derives the
+// pollution metrics. Returns ErrAttackerSeesNoRoute when the attacker
+// never learns the victim's route. Topologies with sibling links are
+// routed by the message-level Reference engine automatically.
+func Simulate(g *topology.Graph, sc Scenario) (*Impact, error) {
+	if sc.Victim == sc.Attacker {
+		return nil, errors.New("core: victim and attacker must differ")
+	}
+	ann := sc.announcement()
+	var (
+		baseline, attacked *routing.Result
+		err                error
+	)
+	if g.HasSiblings() {
+		baseline, attacked, err = simulateReference(g, ann, sc)
+	} else {
+		baseline, err = routing.Propagate(g, ann)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline: %w", err)
+		}
+		attacked, err = routing.PropagateAttack(g, ann, sc.attacker(), baseline)
+	}
+	if errors.Is(err, routing.ErrUnreachableAttacker) {
+		return nil, ErrAttackerSeesNoRoute
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: attack: %w", err)
+	}
+
+	im := &Impact{
+		Scenario: sc,
+		baseline: baseline,
+		attacked: attacked,
+		viaBase:  baseline.ViaSet(sc.Attacker),
+	}
+	vIdx := mustIdx(g, sc.Victim)
+	aIdx := mustIdx(g, sc.Attacker)
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		if i == vIdx || i == aIdx || !baseline.ReachableIdx(i) {
+			continue
+		}
+		im.Eligible++
+		if im.viaBase[i] {
+			im.PollutedBefore++
+		}
+		if attacked.Via[i] {
+			im.PollutedAfter++
+		}
+	}
+	return im, nil
+}

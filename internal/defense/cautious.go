@@ -1,0 +1,141 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// CautiousOutcome is one deployment level of the PGBGP-style mitigation
+// (the paper's §VII citation [29], "Pretty Good BGP: cautiously adopting
+// routes"): deploying ASes remember how many origin prepends a prefix's
+// routes historically carried, and quarantine any route carrying fewer —
+// using it only when no normal route remains.
+type CautiousOutcome struct {
+	// DeployFrac is the fraction of ASes running cautious adoption.
+	DeployFrac float64
+	// Deployers is the realized deployer count.
+	Deployers int
+	// Pollution is the attacked polluted fraction under this deployment.
+	Pollution float64
+}
+
+// DeployPolicy selects which ASes deploy the mitigation.
+type DeployPolicy uint8
+
+const (
+	// DeployRandom samples deployers uniformly.
+	DeployRandom DeployPolicy = iota + 1
+	// DeployTopDegree deploys at the best-connected ASes first — the
+	// realistic rollout (large ISPs adopt security mechanisms first) and
+	// the more effective one, since core ASes transit most routes.
+	DeployTopDegree
+)
+
+// String names the policy.
+func (p DeployPolicy) String() string {
+	switch p {
+	case DeployRandom:
+		return "random"
+	case DeployTopDegree:
+		return "top-degree"
+	default:
+		return fmt.Sprintf("DeployPolicy(%d)", uint8(p))
+	}
+}
+
+// CautiousAdoptionSweep measures the attack's pollution as cautious
+// adoption spreads across the Internet, for deployment fractions fracs.
+// Deployers' historical prepend counts come from the honest baseline.
+func CautiousAdoptionSweep(g *topology.Graph, sc core.Scenario, fracs []float64, policy DeployPolicy, seed int64) ([]CautiousOutcome, error) {
+	if len(fracs) == 0 {
+		return nil, errors.New("defense: no deployment fractions")
+	}
+	if g.HasSiblings() {
+		return nil, errors.New("defense: cautious sweep does not support sibling graphs")
+	}
+	ann := routing.Announcement{
+		Origin:      sc.Victim,
+		Prepend:     sc.Prepend,
+		PerNeighbor: sc.PerNeighborPrepend,
+	}
+	baseline, err := routing.Propagate(g, ann)
+	if err != nil {
+		return nil, fmt.Errorf("defense: baseline: %w", err)
+	}
+	atk := routing.Attacker{
+		AS:                sc.Attacker,
+		KeepPrepend:       sc.KeepPrepend,
+		ViolateValleyFree: sc.ViolateValleyFree,
+	}
+
+	// Deployment order: fixed once, then prefixes of it per fraction, so
+	// the sweep is monotone in deployment by construction.
+	order := deploymentOrder(g, policy, seed)
+
+	vIdx, _ := g.Index(sc.Victim)
+	aIdx, _ := g.Index(sc.Attacker)
+	eligible := 0
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		if i != vIdx && i != aIdx && baseline.ReachableIdx(i) {
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return nil, errors.New("defense: nobody reaches the victim")
+	}
+
+	sorted := append([]float64(nil), fracs...)
+	sort.Float64s(sorted)
+	out := make([]CautiousOutcome, 0, len(sorted))
+	for _, f := range sorted {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("defense: deployment fraction %v out of range", f)
+		}
+		n := int(f * float64(len(order)))
+		minPrep := make(map[bgp.ASN]int, n)
+		for _, asn := range order[:n] {
+			idx, _ := g.Index(asn)
+			if baseline.ReachableIdx(idx) && idx != baseline.OriginIdx() {
+				minPrep[asn] = int(baseline.Prep[idx])
+			}
+		}
+		res, err := routing.PropagateReferenceCautious(g, ann, &atk, minPrep)
+		if err != nil {
+			return nil, fmt.Errorf("defense: deployment %.2f: %w", f, err)
+		}
+		polluted := 0
+		for i := int32(0); i < int32(g.NumASes()); i++ {
+			if i == vIdx || i == aIdx || !baseline.ReachableIdx(i) {
+				continue
+			}
+			if res.Via != nil && res.Via[i] {
+				polluted++
+			}
+		}
+		out = append(out, CautiousOutcome{
+			DeployFrac: f,
+			Deployers:  len(minPrep),
+			Pollution:  float64(polluted) / float64(eligible),
+		})
+	}
+	return out, nil
+}
+
+func deploymentOrder(g *topology.Graph, policy DeployPolicy, seed int64) []bgp.ASN {
+	switch policy {
+	case DeployTopDegree:
+		return g.TopByDegree(g.NumASes())
+	default:
+		asns := g.ASNs()
+		rng := rand.New(rand.NewSource(seed + 909))
+		rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
+		return asns
+	}
+}

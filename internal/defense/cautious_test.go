@@ -1,0 +1,111 @@
+package defense
+
+import (
+	"testing"
+
+	"aspp/internal/core"
+	"aspp/internal/routing"
+)
+
+func TestCautiousAdoptionSweepMonotone(t *testing.T) {
+	g := defGraph(t, 600, 71)
+	t1 := g.Tier1s()
+	sc := core.Scenario{Victim: t1[0], Attacker: t1[1], Prepend: 4}
+
+	for _, policy := range []DeployPolicy{DeployRandom, DeployTopDegree} {
+		out, err := CautiousAdoptionSweep(g, sc, []float64{0, 0.25, 0.5, 0.75, 1}, policy, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if len(out) != 5 {
+			t.Fatalf("%v: got %d points", policy, len(out))
+		}
+		// Zero deployment must equal the plain attack.
+		plain, err := core.Simulate(g, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := out[0].Pollution - plain.After(); diff > 0.001 || diff < -0.001 {
+			t.Errorf("%v: zero-deployment pollution %.3f != plain attack %.3f",
+				policy, out[0].Pollution, plain.After())
+		}
+		// Full deployment must (nearly) kill the attack: everyone
+		// quarantines the stripped route while the honest one exists.
+		if out[4].Pollution > plain.Before()+0.02 {
+			t.Errorf("%v: full deployment still polluted %.3f (natural transit %.3f)",
+				policy, out[4].Pollution, plain.Before())
+		}
+		// Monotone non-increasing in deployment.
+		for i := 1; i < len(out); i++ {
+			if out[i].Pollution > out[i-1].Pollution+0.05 {
+				t.Errorf("%v: pollution rose with deployment: %.3f -> %.3f at %.2f",
+					policy, out[i-1].Pollution, out[i].Pollution, out[i].DeployFrac)
+			}
+		}
+		if out[0].Pollution <= out[4].Pollution {
+			t.Errorf("%v: deployment gained nothing: %.3f vs %.3f",
+				policy, out[0].Pollution, out[4].Pollution)
+		}
+	}
+}
+
+func TestCautiousTopDegreeBeatsRandomAtLowDeployment(t *testing.T) {
+	// Core-first rollout protects more of the Internet per deployer.
+	g := defGraph(t, 800, 72)
+	t1 := g.Tier1s()
+	sc := core.Scenario{Victim: t1[0], Attacker: t1[2], Prepend: 4}
+	rnd, err := CautiousAdoptionSweep(g, sc, []float64{0.1}, DeployRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := CautiousAdoptionSweep(g, sc, []float64{0.1}, DeployTopDegree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Pollution > rnd[0].Pollution+0.02 {
+		t.Errorf("top-degree deployment (%.3f) clearly worse than random (%.3f)",
+			top[0].Pollution, rnd[0].Pollution)
+	}
+}
+
+func TestCautiousSweepValidation(t *testing.T) {
+	g := defGraph(t, 300, 73)
+	t1 := g.Tier1s()
+	sc := core.Scenario{Victim: t1[0], Attacker: t1[1], Prepend: 3}
+	if _, err := CautiousAdoptionSweep(g, sc, nil, DeployRandom, 1); err == nil {
+		t.Error("empty fractions accepted")
+	}
+	if _, err := CautiousAdoptionSweep(g, sc, []float64{1.5}, DeployRandom, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestCautiousQuarantineUsedOnlyAsLastResort(t *testing.T) {
+	// A single-homed victim: after the attack, the only route anyone has
+	// traverses the attacker. Cautious deployers must still accept it
+	// (quarantine is a preference, not a filter) — no blackholing.
+	g := defGraph(t, 300, 74)
+	var victim routing.Attacker
+	// Find a truly single-connected stub (one provider, no peers) so the
+	// attacker's branch is the only way in.
+	for _, asn := range g.ASNs() {
+		if g.IsStub(asn) && len(g.Providers(asn)) == 1 && len(g.Peers(asn)) == 0 {
+			victim.AS = asn
+			break
+		}
+	}
+	if victim.AS == 0 {
+		t.Skip("no single-connected stub")
+	}
+	attacker := g.Providers(victim.AS)[0]
+	sc := core.Scenario{Victim: victim.AS, Attacker: attacker, Prepend: 4}
+	out, err := CautiousAdoptionSweep(g, sc, []float64{1}, DeployRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone still reaches the victim (through the attacker: it is the
+	// only way), so pollution stays total rather than traffic being lost.
+	if out[0].Pollution < 0.95 {
+		t.Errorf("quarantine blackholed traffic: pollution %.3f, want ~1 (only path)", out[0].Pollution)
+	}
+}

@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+func TestDetectMOAS(t *testing.T) {
+	routes := []MonitorRoute{
+		{Monitor: 1, Path: mustPath(t, "10 30 100 100")},
+		{Monitor: 2, Path: mustPath(t, "20 30 100")},
+	}
+	origins, anomalous := DetectMOAS(routes)
+	if anomalous || len(origins) != 1 || origins[0] != 100 {
+		t.Errorf("single origin flagged: %v %v", origins, anomalous)
+	}
+	routes = append(routes, MonitorRoute{Monitor: 3, Path: mustPath(t, "40 200")})
+	origins, anomalous = DetectMOAS(routes)
+	if !anomalous || len(origins) != 2 || origins[0] != 100 || origins[1] != 200 {
+		t.Errorf("MOAS missed: %v %v", origins, anomalous)
+	}
+	if _, anomalous := DetectMOAS(nil); anomalous {
+		t.Error("empty route set flagged")
+	}
+}
+
+func TestDetectFakeLinks(t *testing.T) {
+	b := topology.NewBuilder()
+	for _, e := range [][2]bgp.ASN{{10, 30}, {10, 40}, {30, 100}} {
+		if err := b.AddP2C(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest route: no fake links.
+	honest := []MonitorRoute{{Monitor: 40, Path: mustPath(t, "10 30 100 100 100")}}
+	if got := DetectFakeLinks(g, honest); len(got) != 0 {
+		t.Errorf("fake links in honest route: %v", got)
+	}
+	// Forged route claims the nonexistent 40-100 adjacency.
+	forged := []MonitorRoute{{Monitor: 10, Path: mustPath(t, "40 100")}}
+	got := DetectFakeLinks(g, forged)
+	if len(got) != 1 || got[0].A != 40 || got[0].B != 100 {
+		t.Fatalf("DetectFakeLinks = %v, want the 40-100 link", got)
+	}
+	if got[0].Monitor != 10 {
+		t.Errorf("witness = %v, want 10", got[0].Monitor)
+	}
+	// Duplicate appearances are reported once.
+	both := []MonitorRoute{
+		{Monitor: 10, Path: mustPath(t, "40 100")},
+		{Monitor: 30, Path: mustPath(t, "10 40 100")},
+	}
+	if got := DetectFakeLinks(g, both); len(got) != 1 {
+		t.Errorf("duplicate fake link reported %d times", len(got))
+	}
+	// Prepending does not create fake self-links.
+	padded := []MonitorRoute{{Monitor: 40, Path: mustPath(t, "10 30 100 100 100 100")}}
+	if got := DetectFakeLinks(g, padded); len(got) != 0 {
+		t.Errorf("prepend runs flagged as links: %v", got)
+	}
+}

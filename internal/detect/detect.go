@@ -1,0 +1,209 @@
+// Package detect implements the paper's ASPP-interception detection
+// algorithm (Fig. 4): collaborative monitoring from multiple vantage
+// points, searching for inconsistent prepend counts across routes that
+// share the AS-path segment adjacent to the origin.
+//
+// The key observation: following the same AS path, an AS cannot receive
+// two routes with two different numbers of origin prepends — the origin
+// applies one consistent policy per neighbor. When the segment below some
+// AS matches across two monitors' routes but the prepend counts differ,
+// the AS just above the segment in the shorter route must have removed
+// prepends: a high-confidence alarm. When no direct segment conflict
+// exists, relationship-based hints (the pseudocode's else branch) raise
+// lower-confidence alarms, at the cost of false positives.
+package detect
+
+import (
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// Confidence grades an alarm.
+type Confidence uint8
+
+const (
+	// High: a direct segment conflict was observed (the pseudocode's
+	// "detect attack!" branch).
+	High Confidence = iota + 1
+	// Possible: only relationship-based hints support the alarm; the
+	// inferred AS relationships may be inaccurate.
+	Possible
+)
+
+// String names the confidence level.
+func (c Confidence) String() string {
+	switch c {
+	case High:
+		return "high"
+	case Possible:
+		return "possible"
+	default:
+		return fmt.Sprintf("Confidence(%d)", uint8(c))
+	}
+}
+
+// Alarm is one detection event.
+type Alarm struct {
+	// Confidence grades the evidence.
+	Confidence Confidence
+	// Suspect is the AS accused of removing prepended ASNs. The evidence
+	// localizes the removal to the suspect or an AS above it on the
+	// monitor's path: the suspect is the AS immediately above the longest
+	// path segment this witness confirms. A witness routing through more
+	// of the monitor's path pins the suspect more precisely.
+	Suspect bgp.ASN
+	// Monitor is the vantage point whose route change triggered detection.
+	Monitor bgp.ASN
+	// Witness is the vantage point whose conflicting route provided the
+	// evidence.
+	Witness bgp.ASN
+	// RemovedPads is the number of origin copies the suspect removed
+	// (high confidence only; 0 otherwise).
+	RemovedPads int
+}
+
+// String renders the alarm for logs.
+func (a Alarm) String() string {
+	if a.Confidence == High {
+		return fmt.Sprintf("ALARM[high] %v removed %d prepended ASN(s) (monitor %v, witness %v)",
+			a.Suspect, a.RemovedPads, a.Monitor, a.Witness)
+	}
+	return fmt.Sprintf("ALARM[possible] %v may have removed prepended ASNs (monitor %v, witness %v)",
+		a.Suspect, a.Monitor, a.Witness)
+}
+
+// RelQuerier answers AS-relationship questions; *topology.Graph implements
+// it with ground truth, and relinfer's inferred graphs implement it with
+// measured relationships (the realistic deployment).
+type RelQuerier interface {
+	RelOf(a, b bgp.ASN) topology.RelTo
+}
+
+// MonitorRoute is one vantage point's current route for the watched prefix.
+type MonitorRoute struct {
+	Monitor bgp.ASN
+	Path    bgp.Path
+}
+
+// transit returns the unique transit chain of a path: every distinct AS in
+// order, excluding the origin run. Element 0 is the monitor's next hop;
+// the last element is the origin's direct neighbor.
+func transit(p bgp.Path) bgp.Path {
+	u := p.Unique()
+	if len(u) == 0 {
+		return nil
+	}
+	return u[:len(u)-1]
+}
+
+// hasPeerStep reports whether any adjacent pair along chain is a peer link
+// (used by the pseudocode's "no peer links in r_t^d" hint condition).
+func hasPeerStep(chain bgp.Path, origin bgp.ASN, rels RelQuerier) bool {
+	prev := origin
+	for i := len(chain) - 1; i >= 0; i-- {
+		if rels.RelOf(prev, chain[i]) == topology.RelPeer {
+			return true
+		}
+		prev = chain[i]
+	}
+	return false
+}
+
+// DetectChange runs the paper's detection algorithm for one route change
+// observed at a monitor: prev is the monitor's previous best path for the
+// prefix, cur the new one, and witnesses the current routes of the other
+// vantage points. rels may be nil, in which case the relationship-based
+// hint rules are skipped and only segment conflicts are reported.
+func DetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute, rels RelQuerier) []Alarm {
+	if len(prev) == 0 || len(cur) == 0 {
+		return nil
+	}
+	prevOrigin, _ := prev.Origin()
+	curOrigin, _ := cur.Origin()
+	if prevOrigin != curOrigin {
+		return nil // ownership change is a different attack class (MOAS)
+	}
+	lambdaT := cur.OriginPrepend()
+	lambdaPrev := prev.OriginPrepend()
+	if lambdaT >= lambdaPrev {
+		return nil // padded number did not decrease: not our trigger
+	}
+
+	curT := transit(cur)
+	var alarms []Alarm
+	for _, w := range witnesses {
+		if w.Monitor == monitor || len(w.Path) == 0 {
+			continue
+		}
+		if o, _ := w.Path.Origin(); o != curOrigin {
+			continue
+		}
+		lambdaL := w.Path.OriginPrepend()
+		if lambdaT >= lambdaL {
+			continue // witness shows no extra padding: consistent
+		}
+		witT := transit(w.Path)
+
+		// Direct symptom: the two routes share the chain adjacent to the
+		// origin, so the origin's neighbor received both — with different
+		// padding. Impossible under consistent per-neighbor policy.
+		if m := curT.CommonSuffixLen(witT); m >= 1 {
+			suspect := monitor
+			if m < len(curT) {
+				suspect = curT[len(curT)-1-m]
+			}
+			alarms = append(alarms, Alarm{
+				Confidence:  High,
+				Suspect:     suspect,
+				Monitor:     monitor,
+				Witness:     w.Monitor,
+				RemovedPads: lambdaL - lambdaT,
+			})
+			continue
+		}
+
+		// No direct symptom: search for hints (lower confidence). The
+		// witness's next hop selected a longer padded route even though
+		// local policy says it should have learned the shorter one.
+		if rels == nil || len(curT) < 2 || len(witT) < 1 {
+			continue
+		}
+		if len(witT)+lambdaL <= len(curT)+lambdaT {
+			continue // witness route not actually longer end-to-end
+		}
+		asI := curT[0]   // top of the changed route
+		asIm1 := curT[1] // the AS below it
+		asL := witT[0]   // top of the witness route
+		var asLm1 bgp.ASN
+		if len(witT) >= 2 {
+			asLm1 = witT[1]
+		}
+		hint := false
+		switch rels.RelOf(asIm1, asL) {
+		case topology.RelProvider:
+			// asL is asIm1's provider: customers export everything up,
+			// so asL should have heard the shorter route.
+			hint = true
+		case topology.RelPeer:
+			// Peers hear customer routes; if the monitor's route climbed
+			// only customer-provider links, asIm1 could export it to asL.
+			hint = !hasPeerStep(curT, curOrigin, rels)
+		case topology.RelCustomer:
+			// asL is asIm1's customer and itself chose a provider route:
+			// providers export everything down, so asL should have heard
+			// the shorter route from asIm1.
+			hint = asLm1 != 0 && rels.RelOf(asL, asLm1) == topology.RelProvider
+		}
+		if hint {
+			alarms = append(alarms, Alarm{
+				Confidence: Possible,
+				Suspect:    asI,
+				Monitor:    monitor,
+				Witness:    w.Monitor,
+			})
+		}
+	}
+	return alarms
+}

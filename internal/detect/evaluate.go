@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+)
+
+// EvalResult summarizes one attack instance's detectability from a given
+// monitor set (the per-instance datum behind the paper's Figs. 13-14).
+type EvalResult struct {
+	// Detected: at least one monitor raised an alarm of any confidence.
+	Detected bool
+	// DetectedHigh: at least one high-confidence (segment conflict) alarm.
+	DetectedHigh bool
+	// Attributed: some alarm named the true attacker as the suspect.
+	Attributed bool
+	// PollutedBeforeDetection is the fraction of ultimately-polluted ASes
+	// that adopted the bogus route strictly before the first detecting
+	// monitor received it (1.0 when the attack goes undetected) — the
+	// paper's Fig. 14 metric, with propagation time modeled as AS-hop
+	// distance from the attacker along the bogus route.
+	PollutedBeforeDetection float64
+	// Alarms are all alarms raised across monitors.
+	Alarms []Alarm
+}
+
+// Evaluate runs the detection algorithm against one simulated attack: each
+// monitor's pre-attack route acts as its previous state, its under-attack
+// route as the new state, and all monitors' under-attack routes form the
+// collaborative view R.
+func Evaluate(im *core.Impact, monitors []bgp.ASN, rels RelQuerier) EvalResult {
+	baseline, attacked := im.Baseline(), im.Attacked()
+
+	witnesses := make([]MonitorRoute, 0, len(monitors))
+	for _, m := range monitors {
+		if p := attacked.PathOf(m); p != nil {
+			witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+
+	var res EvalResult
+	detectionHops := -1
+	for _, m := range monitors {
+		prev, cur := baseline.PathOf(m), attacked.PathOf(m)
+		alarms := DetectChange(m, prev, cur, witnesses, rels)
+		if len(alarms) == 0 {
+			continue
+		}
+		res.Alarms = append(res.Alarms, alarms...)
+		res.Detected = true
+		for _, a := range alarms {
+			if a.Confidence == High {
+				res.DetectedHigh = true
+			}
+			if a.Suspect == im.Scenario.Attacker {
+				res.Attributed = true
+			}
+		}
+		// This monitor detects as soon as the bogus route reaches it.
+		if h := im.HopsFromAttacker(m); h >= 0 && (detectionHops < 0 || h < detectionHops) {
+			detectionHops = h
+		}
+	}
+
+	res.PollutedBeforeDetection = pollutedBefore(im, detectionHops)
+	return res
+}
+
+// pollutedBefore computes the Fig. 14 metric: with the bogus route
+// spreading outward from the attacker hop by hop, the fraction of
+// ultimately-polluted ASes that are strictly closer to the attacker than
+// the first detecting monitor.
+func pollutedBefore(im *core.Impact, detectionHops int) float64 {
+	polluted := im.PollutedASes()
+	if len(polluted) == 0 {
+		return 0
+	}
+	if detectionHops < 0 {
+		return 1 // never detected: everyone polluted first
+	}
+	early := 0
+	for _, asn := range polluted {
+		if h := im.HopsFromAttacker(asn); h >= 0 && h < detectionHops {
+			early++
+		}
+	}
+	return float64(early) / float64(len(polluted))
+}

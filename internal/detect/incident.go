@@ -1,0 +1,128 @@
+package detect
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"aspp/internal/bgp"
+)
+
+// Incident aggregates the alarms one suspected interception produces
+// across monitors and time — the report a PHAS-style notification system
+// sends the prefix owner, rather than a raw alarm stream.
+type Incident struct {
+	Prefix netip.Prefix
+	// Suspects are the accused ASes with their alarm counts; real
+	// interceptions converge on the attacker (or a small above-set).
+	Suspects map[bgp.ASN]int
+	// Alarms is the total alarm count; HighAlarms counts segment
+	// conflicts.
+	Alarms, HighAlarms int
+	// Monitors that contributed at least one alarm.
+	Monitors map[bgp.ASN]bool
+	// FirstSeen/LastSeen are logical times of the first and latest alarm.
+	FirstSeen, LastSeen uint64
+}
+
+// PrimeSuspect returns the most-accused AS (ties to the lowest ASN).
+func (inc *Incident) PrimeSuspect() bgp.ASN {
+	var best bgp.ASN
+	bestN := -1
+	for asn, n := range inc.Suspects {
+		if n > bestN || (n == bestN && asn < best) {
+			best, bestN = asn, n
+		}
+	}
+	return best
+}
+
+// String renders a one-line summary.
+func (inc *Incident) String() string {
+	return fmt.Sprintf("incident %v: %d alarms (%d high) from %d monitors, prime suspect %v, t=%d..%d",
+		inc.Prefix, inc.Alarms, inc.HighAlarms, len(inc.Monitors),
+		inc.PrimeSuspect(), inc.FirstSeen, inc.LastSeen)
+}
+
+// IncidentTracker folds a stream of (update, alarms) observations into
+// per-prefix incidents. Wrap a Detector with Track to use it inline.
+type IncidentTracker struct {
+	open map[netip.Prefix]*Incident
+	// QuietTime closes an incident when no alarm arrives for this many
+	// logical time units (0 = never auto-close).
+	QuietTime uint64
+	closed    []*Incident
+}
+
+// NewIncidentTracker returns an empty tracker.
+func NewIncidentTracker(quietTime uint64) *IncidentTracker {
+	return &IncidentTracker{
+		open:      make(map[netip.Prefix]*Incident),
+		QuietTime: quietTime,
+	}
+}
+
+// Track records the alarms an update produced. Returns the incident the
+// alarms joined (nil when there were no alarms).
+func (tr *IncidentTracker) Track(u bgp.Update, alarms []Alarm) *Incident {
+	tr.expire(u.Time)
+	if len(alarms) == 0 {
+		return nil
+	}
+	inc := tr.open[u.Prefix]
+	if inc == nil {
+		inc = &Incident{
+			Prefix:    u.Prefix,
+			Suspects:  make(map[bgp.ASN]int),
+			Monitors:  make(map[bgp.ASN]bool),
+			FirstSeen: u.Time,
+		}
+		tr.open[u.Prefix] = inc
+	}
+	inc.LastSeen = u.Time
+	for _, a := range alarms {
+		inc.Alarms++
+		if a.Confidence == High {
+			inc.HighAlarms++
+		}
+		inc.Suspects[a.Suspect]++
+		inc.Monitors[a.Monitor] = true
+	}
+	return inc
+}
+
+// expire closes incidents whose last alarm is older than QuietTime.
+func (tr *IncidentTracker) expire(now uint64) {
+	if tr.QuietTime == 0 {
+		return
+	}
+	for pfx, inc := range tr.open {
+		if now > inc.LastSeen && now-inc.LastSeen > tr.QuietTime {
+			tr.closed = append(tr.closed, inc)
+			delete(tr.open, pfx)
+		}
+	}
+}
+
+// Open returns the currently open incidents, sorted by prefix.
+func (tr *IncidentTracker) Open() []*Incident {
+	out := make([]*Incident, 0, len(tr.open))
+	for _, inc := range tr.open {
+		out = append(out, inc)
+	}
+	sortIncidents(out)
+	return out
+}
+
+// Closed returns incidents that aged out, oldest first.
+func (tr *IncidentTracker) Closed() []*Incident {
+	out := make([]*Incident, len(tr.closed))
+	copy(out, tr.closed)
+	return out
+}
+
+func sortIncidents(incs []*Incident) {
+	sort.Slice(incs, func(a, b int) bool {
+		return incs[a].Prefix.Addr().Less(incs[b].Prefix.Addr())
+	})
+}

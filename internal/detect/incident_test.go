@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"net/netip"
+	"testing"
+
+	"aspp/internal/bgp"
+)
+
+func TestIncidentTrackerAggregates(t *testing.T) {
+	tr := NewIncidentTracker(0)
+	pfx := netip.MustParsePrefix("10.0.0.0/16")
+	upd := func(tm uint64) bgp.Update {
+		return bgp.Update{Time: tm, Monitor: 9, Type: bgp.Announce, Prefix: pfx, Path: bgp.Path{1, 100}}
+	}
+	if got := tr.Track(upd(1), nil); got != nil {
+		t.Error("incident created without alarms")
+	}
+	inc := tr.Track(upd(2), []Alarm{
+		{Confidence: High, Suspect: 6, Monitor: 9, RemovedPads: 2},
+		{Confidence: Possible, Suspect: 7, Monitor: 9},
+	})
+	if inc == nil {
+		t.Fatal("no incident")
+	}
+	tr.Track(upd(5), []Alarm{{Confidence: High, Suspect: 6, Monitor: 8}})
+
+	open := tr.Open()
+	if len(open) != 1 {
+		t.Fatalf("open incidents = %d, want 1", len(open))
+	}
+	got := open[0]
+	if got.Alarms != 3 || got.HighAlarms != 2 {
+		t.Errorf("alarms = %d/%d, want 3/2", got.Alarms, got.HighAlarms)
+	}
+	if got.PrimeSuspect() != 6 {
+		t.Errorf("prime suspect = %v, want 6", got.PrimeSuspect())
+	}
+	if len(got.Monitors) != 2 {
+		t.Errorf("monitors = %d, want 2", len(got.Monitors))
+	}
+	if got.FirstSeen != 2 || got.LastSeen != 5 {
+		t.Errorf("times = %d..%d, want 2..5", got.FirstSeen, got.LastSeen)
+	}
+	if got.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestIncidentTrackerQuietTimeCloses(t *testing.T) {
+	tr := NewIncidentTracker(10)
+	pfx := netip.MustParsePrefix("10.0.0.0/16")
+	other := netip.MustParsePrefix("10.1.0.0/16")
+	tr.Track(bgp.Update{Time: 1, Monitor: 9, Type: bgp.Announce, Prefix: pfx, Path: bgp.Path{1, 100}},
+		[]Alarm{{Confidence: High, Suspect: 6, Monitor: 9}})
+	// A quiet stretch on another prefix ages the first incident out.
+	tr.Track(bgp.Update{Time: 30, Monitor: 9, Type: bgp.Announce, Prefix: other, Path: bgp.Path{2, 200}},
+		[]Alarm{{Confidence: Possible, Suspect: 3, Monitor: 9}})
+	if len(tr.Open()) != 1 {
+		t.Fatalf("open = %d, want 1 (the new one)", len(tr.Open()))
+	}
+	closed := tr.Closed()
+	if len(closed) != 1 || closed[0].Prefix != pfx {
+		t.Fatalf("closed = %v, want the first incident", closed)
+	}
+	// Alarms on distinct prefixes form distinct incidents.
+	if tr.Open()[0].Prefix != other {
+		t.Error("wrong incident kept open")
+	}
+}
+
+func TestIncidentPrimeSuspectTieBreak(t *testing.T) {
+	inc := &Incident{Suspects: map[bgp.ASN]int{9: 2, 4: 2, 7: 1}}
+	if got := inc.PrimeSuspect(); got != 4 {
+		t.Errorf("PrimeSuspect = %v, want 4 (lowest of the tied)", got)
+	}
+}

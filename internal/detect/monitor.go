@@ -1,0 +1,79 @@
+package detect
+
+import (
+	"net/netip"
+	"sort"
+
+	"aspp/internal/bgp"
+)
+
+// Detector consumes a live BGP update stream from a set of vantage points
+// (the deployment mode of the paper's Section V: a prefix owner watching
+// RouteViews/RIPE-style feeds with a PHAS-like monitor) and raises alarms
+// as inconsistencies appear.
+type Detector struct {
+	monitors map[bgp.ASN]bool
+	rels     RelQuerier
+	// routes[prefix][monitor] is the latest announced path.
+	routes map[netip.Prefix]map[bgp.ASN]bgp.Path
+}
+
+// NewDetector builds a streaming detector for the given vantage points.
+// rels may be nil to disable the relationship-hint rules.
+func NewDetector(monitors []bgp.ASN, rels RelQuerier) *Detector {
+	m := make(map[bgp.ASN]bool, len(monitors))
+	for _, asn := range monitors {
+		m[asn] = true
+	}
+	return &Detector{
+		monitors: m,
+		rels:     rels,
+		routes:   make(map[netip.Prefix]map[bgp.ASN]bgp.Path),
+	}
+}
+
+// Monitors returns the configured vantage points, sorted.
+func (d *Detector) Monitors() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(d.monitors))
+	for asn := range d.monitors {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Observe processes one update and returns any alarms it triggers.
+// Updates from non-monitor ASes are ignored.
+func (d *Detector) Observe(u bgp.Update) []Alarm {
+	if err := u.Validate(); err != nil || !d.monitors[u.Monitor] {
+		return nil
+	}
+	table := d.routes[u.Prefix]
+	if table == nil {
+		table = make(map[bgp.ASN]bgp.Path)
+		d.routes[u.Prefix] = table
+	}
+	prev := table[u.Monitor]
+	if u.Type == bgp.Withdraw {
+		delete(table, u.Monitor)
+		return nil
+	}
+	table[u.Monitor] = u.Path.Clone()
+	if prev == nil {
+		return nil // first sight of this prefix from this monitor
+	}
+	witnesses := make([]MonitorRoute, 0, len(table))
+	for m, p := range table {
+		if m != u.Monitor {
+			witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+	sort.Slice(witnesses, func(a, b int) bool { return witnesses[a].Monitor < witnesses[b].Monitor })
+	return DetectChange(u.Monitor, prev, u.Path, witnesses, d.rels)
+}
+
+// RouteOf returns the detector's current view of monitor's route for a
+// prefix (nil if unknown).
+func (d *Detector) RouteOf(prefix netip.Prefix, monitor bgp.ASN) bgp.Path {
+	return d.routes[prefix][monitor].Clone()
+}

@@ -1,0 +1,61 @@
+package detect
+
+import (
+	"aspp/internal/bgp"
+)
+
+// DetectOwnPolicy is the prefix owner's self-defense check (the paper's
+// §V-B deployment: "an prefix owner can monitor the data from public
+// monitors continuously"). Unlike third-party detection, the owner knows
+// exactly how many prepends it sent to each neighbor, so any observed
+// route carrying fewer origin copies than the policy prescribes for its
+// entry neighbor is proof of stripping — no cross-monitor witness needed.
+//
+// lambdaFor must return the λ the owner announces toward a given direct
+// neighbor (and 0 for ASes the owner does not announce to at all, in
+// which case any route entering there is itself an anomaly).
+func DetectOwnPolicy(origin bgp.ASN, lambdaFor func(neighbor bgp.ASN) int, routes []MonitorRoute) []Alarm {
+	var alarms []Alarm
+	for _, r := range routes {
+		if len(r.Path) == 0 {
+			continue
+		}
+		if o, _ := r.Path.Origin(); o != origin {
+			continue // not our prefix (MOAS handled elsewhere)
+		}
+		tr := transit(r.Path)
+		if len(tr) == 0 {
+			continue // the monitor is our own neighbor seeing the raw announcement
+		}
+		entry := tr[len(tr)-1] // the origin's direct neighbor on this route
+		want := lambdaFor(entry)
+		got := r.Path.OriginPrepend()
+		if want == 0 {
+			// Route enters through a neighbor we never announced to.
+			alarms = append(alarms, Alarm{
+				Confidence: High,
+				Suspect:    entry,
+				Monitor:    r.Monitor,
+				Witness:    origin,
+			})
+			continue
+		}
+		if got < want {
+			// Someone above the entry neighbor removed pads. The closest
+			// locus we can name from one route is the AS just above the
+			// entry (refined by cross-monitor evidence elsewhere).
+			suspect := r.Monitor
+			if len(tr) >= 2 {
+				suspect = tr[len(tr)-2]
+			}
+			alarms = append(alarms, Alarm{
+				Confidence:  High,
+				Suspect:     suspect,
+				Monitor:     r.Monitor,
+				Witness:     origin,
+				RemovedPads: want - got,
+			})
+		}
+	}
+	return alarms
+}

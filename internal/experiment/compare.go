@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/detect"
+	"aspp/internal/parallel"
+	"aspp/internal/topology"
+)
+
+// AttackComparison quantifies the paper's §II.B qualitative contrast: for
+// the same attacker/victim pairs, how much traffic does each hijack
+// family capture, and which detector class catches it?
+type AttackComparison struct {
+	Type core.AttackType
+	// MeanPollution is the mean captured fraction across pairs.
+	MeanPollution float64
+	// DetectedByMOAS / DetectedByFakeLink / DetectedByASPP are the
+	// fractions of instances each detector class flags.
+	DetectedByMOAS, DetectedByFakeLink, DetectedByASPP float64
+	// Instances is the number of evaluated pairs.
+	Instances int
+}
+
+// CompareConfig parameterizes CompareAttackTypes.
+type CompareConfig struct {
+	Pairs    int
+	Prepend  int
+	Monitors int // top-degree monitor count for the detectors
+	Seed     int64
+	Workers  int
+}
+
+// DefaultCompareConfig returns a calibrated comparison setup.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{Pairs: 30, Prepend: 3, Monitors: 100, Seed: 1}
+}
+
+// CompareAttackTypes runs all three attack families over shared random
+// pairs and evaluates all three detector classes on each, quantifying the
+// paper's claim that ASPP interception evades MOAS and fake-link
+// detection while remaining catchable by prepend-consistency checking.
+func CompareAttackTypes(g *topology.Graph, cfg CompareConfig) ([]AttackComparison, error) {
+	if cfg.Pairs <= 0 || cfg.Prepend < 2 || cfg.Monitors <= 0 {
+		return nil, errors.New("experiment: bad comparison config")
+	}
+	monitors := g.TopByDegree(cfg.Monitors)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	asns := g.ASNs()
+
+	// Shared pairs: each must make the ASPP attack effective so all three
+	// families face the same instances.
+	type pair struct{ v, m bgp.ASN }
+	var pairs []pair
+	budget := cfg.Pairs * 30
+	candidates := make([]pair, 0, budget)
+	for len(candidates) < budget {
+		v := asns[rng.Intn(len(asns))]
+		m := asns[rng.Intn(len(asns))]
+		if v != m {
+			candidates = append(candidates, pair{v, m})
+		}
+	}
+	aspp := parallel.Map(len(candidates), cfg.Workers, func(i int) *core.Impact {
+		im, err := core.Simulate(g, core.Scenario{
+			Victim:            candidates[i].v,
+			Attacker:          candidates[i].m,
+			Prepend:           cfg.Prepend,
+			ViolateValleyFree: true,
+		})
+		if err != nil || len(im.NewlyPolluted()) == 0 {
+			return nil
+		}
+		return im
+	})
+	var impacts []*core.Impact
+	for i, im := range aspp {
+		if im != nil {
+			impacts = append(impacts, im)
+			pairs = append(pairs, candidates[i])
+			if len(impacts) == cfg.Pairs {
+				break
+			}
+		}
+	}
+	if len(impacts) < cfg.Pairs/2 {
+		return nil, fmt.Errorf("experiment: only %d usable pairs", len(impacts))
+	}
+
+	out := make([]AttackComparison, 0, 3)
+
+	// ASPP interception.
+	asppCmp := AttackComparison{Type: core.AttackASPP, Instances: len(impacts)}
+	for _, im := range impacts {
+		asppCmp.MeanPollution += im.After()
+		routes := monitorRoutesFromImpact(im, monitors)
+		if _, moas := detect.DetectMOAS(routes); moas {
+			asppCmp.DetectedByMOAS++
+		}
+		if len(detect.DetectFakeLinks(g, routes)) > 0 {
+			asppCmp.DetectedByFakeLink++
+		}
+		if detect.Evaluate(im, monitors, g).Detected {
+			asppCmp.DetectedByASPP++
+		}
+	}
+	finishComparison(&asppCmp)
+	out = append(out, asppCmp)
+
+	// The two forged-announcement baselines.
+	for _, typ := range []core.AttackType{core.AttackOriginHijack, core.AttackNextHopInterception} {
+		results := parallel.Map(len(pairs), cfg.Workers, func(i int) *core.BaselineImpact {
+			bi, err := core.SimulateBaseline(g, typ, pairs[i].v, pairs[i].m, cfg.Prepend)
+			if err != nil {
+				return nil
+			}
+			return bi
+		})
+		cmp := AttackComparison{Type: typ}
+		for _, bi := range results {
+			if bi == nil {
+				continue
+			}
+			cmp.Instances++
+			cmp.MeanPollution += bi.After()
+			routes := monitorRoutesFromMulti(bi, monitors)
+			if _, moas := detect.DetectMOAS(routes); moas {
+				cmp.DetectedByMOAS++
+			}
+			if len(detect.DetectFakeLinks(g, routes)) > 0 {
+				cmp.DetectedByFakeLink++
+			}
+			// The ASPP detector's trigger is a prepend-count decrease,
+			// which the forged announcements also cause at polluted
+			// monitors (the forged path carries one origin copy).
+			if asppDetectsBaseline(bi, monitors, g) {
+				cmp.DetectedByASPP++
+			}
+		}
+		finishComparison(&cmp)
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+func finishComparison(c *AttackComparison) {
+	if c.Instances == 0 {
+		return
+	}
+	n := float64(c.Instances)
+	c.MeanPollution /= n
+	c.DetectedByMOAS /= n
+	c.DetectedByFakeLink /= n
+	c.DetectedByASPP /= n
+}
+
+// monitorRoutesFromImpact extracts the under-attack monitor routes.
+func monitorRoutesFromImpact(im *core.Impact, monitors []bgp.ASN) []detect.MonitorRoute {
+	res := im.Attacked()
+	out := make([]detect.MonitorRoute, 0, len(monitors))
+	for _, m := range monitors {
+		if p := res.PathOf(m); p != nil {
+			out = append(out, detect.MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+	return out
+}
+
+func monitorRoutesFromMulti(bi *core.BaselineImpact, monitors []bgp.ASN) []detect.MonitorRoute {
+	out := make([]detect.MonitorRoute, 0, len(monitors))
+	for _, m := range monitors {
+		if p := bi.Attacked().PathOf(m); p != nil {
+			out = append(out, detect.MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+	return out
+}
+
+// asppDetectsBaseline runs the prepend-consistency detector against a
+// baseline attack's before/after monitor views.
+func asppDetectsBaseline(bi *core.BaselineImpact, monitors []bgp.ASN, rels detect.RelQuerier) bool {
+	witnesses := monitorRoutesFromMulti(bi, monitors)
+	for _, m := range monitors {
+		prev := bi.Honest().PathOf(m)
+		cur := bi.Attacked().PathOf(m)
+		if prev == nil || cur == nil {
+			continue
+		}
+		if len(detect.DetectChange(m, prev, cur, witnesses, rels)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ComparisonPrefix is the synthetic prefix label used when rendering
+// comparison update streams.
+var ComparisonPrefix = netip.MustParsePrefix("10.0.0.0/16")

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/detect"
+	"aspp/internal/parallel"
+	"aspp/internal/topology"
+)
+
+// MonitorPolicy selects how the vantage-point set is chosen.
+type MonitorPolicy uint8
+
+const (
+	// MonitorsTopDegree ranks all ASes by degree and takes the top d
+	// (the paper's Fig. 13 policy).
+	MonitorsTopDegree MonitorPolicy = iota + 1
+	// MonitorsRandom samples d monitors uniformly (the ablation).
+	MonitorsRandom
+)
+
+// DetectionConfig parameterizes the detection experiments.
+type DetectionConfig struct {
+	// MonitorCounts are the vantage-point set sizes to evaluate.
+	MonitorCounts []int
+	// Pairs is the number of random attacker/victim pairs (paper: 200).
+	Pairs int
+	// Prepend is the victim's λ.
+	Prepend int
+	// Violate lets the attacker export the bogus route to all neighbors.
+	// The paper's random attacker/victim instances show substantial
+	// pollution even for edge attackers, implying its Fig. 2 simulator
+	// propagates the modified route without the attacker's own export
+	// restriction; enabling this reproduces that behavior (and without it
+	// most random edge attackers are no-ops with nothing to detect).
+	Violate bool
+	// Policy selects the monitor-set construction.
+	Policy MonitorPolicy
+	// Rels supplies AS relationships to the hint rules; nil uses the
+	// ground-truth graph.
+	Rels detect.RelQuerier
+	// LatencyMonitors is the monitor-set size used for the Fig. 14
+	// polluted-before-detection series (0 = the largest entry of
+	// MonitorCounts). The paper's 150 monitors cover ~0.5% of its ~30k-AS
+	// Internet; on smaller generated topologies a coverage-matched count
+	// reproduces the figure's shape.
+	LatencyMonitors int
+	Seed            int64
+	Workers         int
+}
+
+// DefaultDetectionConfig mirrors the paper's setup.
+func DefaultDetectionConfig() DetectionConfig {
+	return DetectionConfig{
+		MonitorCounts: []int{10, 30, 50, 70, 100, 150, 200, 250, 300},
+		Pairs:         200,
+		Prepend:       3,
+		Violate:       true,
+		Policy:        MonitorsTopDegree,
+		Seed:          1,
+	}
+}
+
+// AccuracyPoint is one monitor-count datum of Fig. 13.
+type AccuracyPoint struct {
+	Monitors int
+	// Detected is the fraction of attacks raising any alarm; High counts
+	// only segment-conflict alarms; Attributed counts attacks where some
+	// alarm named the true attacker.
+	Detected, High, Attributed float64
+}
+
+// DetectionOutcome carries both figures' data from one run.
+type DetectionOutcome struct {
+	Accuracy []AccuracyPoint
+	// PollutedBeforeDetection holds, for the latency monitor set, one
+	// fraction per attack instance (Fig. 14's CDF input); undetected
+	// attacks contribute 1.0. LatencyDetected marks which instances the
+	// latency monitor set detected at all, so callers can condition the
+	// CDF on detection.
+	PollutedBeforeDetection []float64
+	LatencyDetected         []bool
+	// UsablePairs is the number of simulated attacks (attacker reachable
+	// and stripping effective).
+	UsablePairs int
+}
+
+// RunDetection simulates cfg.Pairs random interception attacks once, then
+// evaluates the detection algorithm under every monitor-set size.
+func RunDetection(g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, error) {
+	if len(cfg.MonitorCounts) == 0 || cfg.Pairs <= 0 {
+		return nil, errors.New("experiment: empty detection config")
+	}
+	if cfg.Prepend < 2 {
+		return nil, errors.New("experiment: detection needs λ >= 2 (something to strip)")
+	}
+	rels := cfg.Rels
+	if rels == nil {
+		rels = g
+	}
+
+	// Draw pairs: victims and attackers uniform over all ASes.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	asns := g.ASNs()
+	type pair struct{ v, m bgp.ASN }
+	budget := cfg.Pairs * 20
+	candidates := make([]pair, 0, budget)
+	for len(candidates) < budget {
+		v := asns[rng.Intn(len(asns))]
+		m := asns[rng.Intn(len(asns))]
+		if v != m {
+			candidates = append(candidates, pair{v, m})
+		}
+	}
+	impacts := parallel.Map(len(candidates), cfg.Workers, func(i int) *core.Impact {
+		im, err := core.Simulate(g, core.Scenario{
+			Victim:            candidates[i].v,
+			Attacker:          candidates[i].m,
+			Prepend:           cfg.Prepend,
+			ViolateValleyFree: cfg.Violate,
+		})
+		if err != nil {
+			return nil
+		}
+		return im
+	})
+	// Usable attacks must actually capture someone: an attack that
+	// changes no routes is a no-op — unobservable and harmless — and
+	// would only dilute the accuracy denominator.
+	usable := make([]*core.Impact, 0, cfg.Pairs)
+	for _, im := range impacts {
+		if im != nil && len(im.NewlyPolluted()) > 0 {
+			usable = append(usable, im)
+			if len(usable) == cfg.Pairs {
+				break
+			}
+		}
+	}
+	if len(usable) < cfg.Pairs/2 {
+		return nil, fmt.Errorf("experiment: only %d usable attack pairs", len(usable))
+	}
+
+	out := &DetectionOutcome{UsablePairs: len(usable)}
+	latencyCount := cfg.LatencyMonitors
+	if latencyCount <= 0 {
+		for _, d := range cfg.MonitorCounts {
+			if d > latencyCount {
+				latencyCount = d
+			}
+		}
+	}
+	for _, d := range cfg.MonitorCounts {
+		monitors, err := pickMonitors(g, d, cfg.Policy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		evals := parallel.Map(len(usable), cfg.Workers, func(i int) detect.EvalResult {
+			return detect.Evaluate(usable[i], monitors, rels)
+		})
+		pt := AccuracyPoint{Monitors: d}
+		for _, ev := range evals {
+			if ev.Detected {
+				pt.Detected++
+			}
+			if ev.DetectedHigh {
+				pt.High++
+			}
+			if ev.Attributed {
+				pt.Attributed++
+			}
+		}
+		n := float64(len(usable))
+		pt.Detected /= n
+		pt.High /= n
+		pt.Attributed /= n
+		out.Accuracy = append(out.Accuracy, pt)
+
+		if d == latencyCount {
+			out.PollutedBeforeDetection = make([]float64, len(evals))
+			out.LatencyDetected = make([]bool, len(evals))
+			for i, ev := range evals {
+				out.PollutedBeforeDetection[i] = ev.PollutedBeforeDetection
+				out.LatencyDetected[i] = ev.Detected
+			}
+		}
+	}
+	// A latency count outside MonitorCounts gets its own evaluation pass.
+	if out.PollutedBeforeDetection == nil {
+		monitors, err := pickMonitors(g, latencyCount, cfg.Policy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		evals := parallel.Map(len(usable), cfg.Workers, func(i int) detect.EvalResult {
+			return detect.Evaluate(usable[i], monitors, rels)
+		})
+		out.PollutedBeforeDetection = make([]float64, len(evals))
+		out.LatencyDetected = make([]bool, len(evals))
+		for i, ev := range evals {
+			out.PollutedBeforeDetection[i] = ev.PollutedBeforeDetection
+			out.LatencyDetected[i] = ev.Detected
+		}
+	}
+	return out, nil
+}
+
+func pickMonitors(g *topology.Graph, d int, policy MonitorPolicy, seed int64) ([]bgp.ASN, error) {
+	switch policy {
+	case MonitorsTopDegree:
+		return g.TopByDegree(d), nil
+	case MonitorsRandom:
+		asns := g.ASNs()
+		rng := rand.New(rand.NewSource(seed + int64(d)*7919))
+		rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
+		if d > len(asns) {
+			d = len(asns)
+		}
+		return asns[:d], nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown monitor policy %d", policy)
+	}
+}

@@ -1,0 +1,243 @@
+// Package experiment contains the drivers that regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index):
+// attacker/victim pair sweeps (Figs. 7-8), prepend-count sweeps
+// (Figs. 9-12), detection accuracy and latency (Figs. 13-14), the ASPP
+// usage survey (Figs. 5-6, via internal/measure), and the Facebook case
+// study (Fig. 1 and Table I).
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/parallel"
+	"aspp/internal/topology"
+)
+
+// PairKind selects how attacker/victim pairs are drawn.
+type PairKind uint8
+
+const (
+	// PairsTier1: both the attacker and the victim are tier-1 ASes
+	// (paper Fig. 7).
+	PairsTier1 PairKind = iota + 1
+	// PairsRandom: both are drawn uniformly from all ASes (paper Fig. 8;
+	// most draws land in the stub edge, as in the paper).
+	PairsRandom
+)
+
+// PairImpact is one hijack instance's outcome.
+type PairImpact struct {
+	Victim, Attacker       bgp.ASN
+	VictimTier, AttackTier int
+	// Before/After: fraction of ASes whose path to the victim traverses
+	// the attacker without/with the attack.
+	Before, After float64
+}
+
+// PairConfig parameterizes SamplePairs.
+type PairConfig struct {
+	Kind    PairKind
+	N       int // number of hijack instances
+	Prepend int // victim's λ
+	Violate bool
+	Seed    int64
+	Workers int
+}
+
+// SamplePairs simulates cfg.N interception instances with independently
+// drawn pairs and returns them ranked by pollution (the paper's Figs. 7-8
+// presentation). Pairs where the attacker never receives the route are
+// redrawn, up to a generous retry budget.
+func SamplePairs(g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
+	if cfg.N <= 0 {
+		return nil, errors.New("experiment: N must be positive")
+	}
+	if cfg.Prepend < 1 {
+		return nil, errors.New("experiment: prepend must be >= 1")
+	}
+	var pool []bgp.ASN
+	switch cfg.Kind {
+	case PairsTier1:
+		pool = g.Tier1s()
+		if len(pool) < 2 {
+			return nil, errors.New("experiment: fewer than two tier-1 ASes")
+		}
+	case PairsRandom:
+		pool = g.ASNs()
+	default:
+		return nil, fmt.Errorf("experiment: unknown pair kind %d", cfg.Kind)
+	}
+
+	// Draw candidate pairs up front so the simulation fan-out is
+	// deterministic regardless of worker interleaving.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	budget := cfg.N * 20
+	type pair struct{ v, m bgp.ASN }
+	candidates := make([]pair, 0, budget)
+	seen := make(map[pair]bool, budget)
+	for len(candidates) < budget {
+		v := pool[rng.Intn(len(pool))]
+		m := pool[rng.Intn(len(pool))]
+		if v == m {
+			continue
+		}
+		p := pair{v, m}
+		if cfg.Kind == PairsTier1 && seen[p] {
+			continue // tier-1 pool is small; avoid duplicate instances
+		}
+		seen[p] = true
+		candidates = append(candidates, p)
+		if cfg.Kind == PairsTier1 && len(seen) == len(pool)*(len(pool)-1) {
+			break // exhausted all ordered tier-1 pairs
+		}
+	}
+
+	results := parallel.Map(len(candidates), cfg.Workers, func(i int) *PairImpact {
+		p := candidates[i]
+		im, err := core.Simulate(g, core.Scenario{
+			Victim:            p.v,
+			Attacker:          p.m,
+			Prepend:           cfg.Prepend,
+			ViolateValleyFree: cfg.Violate,
+		})
+		if err != nil {
+			return nil // unreachable attacker etc.: skip this draw
+		}
+		return &PairImpact{
+			Victim:     p.v,
+			Attacker:   p.m,
+			VictimTier: g.Tier(p.v),
+			AttackTier: g.Tier(p.m),
+			Before:     im.Before(),
+			After:      im.After(),
+		}
+	})
+	out := make([]PairImpact, 0, cfg.N)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		out = append(out, *r)
+		if len(out) == cfg.N {
+			break
+		}
+	}
+	if len(out) < cfg.N {
+		return out, fmt.Errorf("experiment: only %d of %d instances usable", len(out), cfg.N)
+	}
+	// Rank by pollution, descending (the paper's presentation).
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].After != out[b].After {
+			return out[a].After > out[b].After
+		}
+		if out[a].Victim != out[b].Victim {
+			return out[a].Victim < out[b].Victim
+		}
+		return out[a].Attacker < out[b].Attacker
+	})
+	return out, nil
+}
+
+// SweepPoint is one λ step of a prepend sweep.
+type SweepPoint struct {
+	Lambda        int
+	Before, After float64
+}
+
+// SweepPrepend simulates one victim/attacker pair for λ = 1..maxLambda
+// (paper Figs. 9-12). Steps run concurrently; results are index-ordered.
+func SweepPrepend(g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int) ([]SweepPoint, error) {
+	if maxLambda < 1 {
+		return nil, errors.New("experiment: maxLambda must be >= 1")
+	}
+	errs := make([]error, maxLambda)
+	points := parallel.Map(maxLambda, workers, func(i int) SweepPoint {
+		im, err := core.Simulate(g, core.Scenario{
+			Victim:            victim,
+			Attacker:          attacker,
+			Prepend:           i + 1,
+			ViolateValleyFree: violate,
+		})
+		if err != nil {
+			errs[i] = err
+			return SweepPoint{Lambda: i + 1}
+		}
+		return SweepPoint{Lambda: i + 1, Before: im.Before(), After: im.After()}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep %v/%v: %w", victim, attacker, err)
+		}
+	}
+	return points, nil
+}
+
+// PickTier1ByDegree returns the rank-th highest-degree tier-1 AS (0 = the
+// largest), for the paper's named-AS scenarios ("Sprint hijacks AT&T").
+func PickTier1ByDegree(g *topology.Graph, rank int) (bgp.ASN, error) {
+	t1 := g.Tier1s()
+	if len(t1) == 0 {
+		return 0, errors.New("experiment: no tier-1 ASes")
+	}
+	sort.Slice(t1, func(a, b int) bool {
+		da, db := g.Degree(t1[a]), g.Degree(t1[b])
+		if da != db {
+			return da > db
+		}
+		return t1[a] < t1[b]
+	})
+	if rank >= len(t1) {
+		rank = len(t1) - 1
+	}
+	return t1[rank], nil
+}
+
+// PickContentStub returns the multihomed stub AS with the most peering
+// links — the "small but well-connected enterprise ISP" (Facebook) of the
+// paper's Figs. 10-11. Multihoming matters for the attacker role: with a
+// single provider the bogus route loops back to its own upstream and dies.
+func PickContentStub(g *topology.Graph) (bgp.ASN, error) {
+	var best bgp.ASN
+	bestKey := [2]int{-1, -1} // (multihomed, peers), lexicographic
+	for _, asn := range g.ASNs() {
+		if !g.IsStub(asn) || g.Tier(asn) == 1 {
+			continue
+		}
+		multi := 0
+		if len(g.Providers(asn)) >= 2 {
+			multi = 1
+		}
+		key := [2]int{multi, len(g.Peers(asn))}
+		if key[0] > bestKey[0] ||
+			(key[0] == bestKey[0] && key[1] > bestKey[1]) ||
+			(key == bestKey && asn < best) {
+			best, bestKey = asn, key
+		}
+	}
+	if best == 0 {
+		return 0, errors.New("experiment: no stub ASes")
+	}
+	return best, nil
+}
+
+// PickStub returns a deterministic pseudo-random multi-provider stub,
+// skipping the content stub, for the small-vs-small scenario (Fig. 12).
+func PickStub(g *topology.Graph, seed int64) (bgp.ASN, error) {
+	var stubs []bgp.ASN
+	content, _ := PickContentStub(g)
+	for _, asn := range g.ASNs() {
+		if g.IsStub(asn) && g.Tier(asn) > 1 && asn != content && len(g.Providers(asn)) >= 2 {
+			stubs = append(stubs, asn)
+		}
+	}
+	if len(stubs) == 0 {
+		return 0, errors.New("experiment: no multihomed stubs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return stubs[rng.Intn(len(stubs))], nil
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestSiblingScenarioEnablesValleyFreeInterception(t *testing.T) {
+	g := expGraph(t, 500, 41)
+	attacker, err := PickContentStub(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := PickTier1ByDegree(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the sibling, a rule-following stub attacker captures nobody.
+	follow, err := SweepPrepend(g, victim, attacker, 6, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follow[5].After != 0 {
+		t.Fatalf("stub attacker polluted %.3f without the sibling", follow[5].After)
+	}
+
+	sc, err := BuildSiblingScenario(g, victim, attacker, 65530)
+	if err != nil {
+		t.Fatalf("BuildSiblingScenario: %v", err)
+	}
+	points, err := sc.Sweep(6)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// The paper's Fig. 11: substantial pollution at high λ while following
+	// valley-free export rules.
+	if points[5].After <= 0.05 {
+		t.Errorf("sibling-enabled pollution at λ=6 = %.3f, want substantial", points[5].After)
+	}
+	// Monotone in λ.
+	for i := 1; i < len(points); i++ {
+		if points[i].After+1e-9 < points[i-1].After {
+			t.Errorf("pollution dropped at λ=%d: %.4f -> %.4f",
+				points[i].Lambda, points[i-1].After, points[i].After)
+		}
+	}
+}
+
+func TestBuildSiblingScenarioValidation(t *testing.T) {
+	g := expGraph(t, 300, 42)
+	asns := g.ASNs()
+	if _, err := BuildSiblingScenario(g, 4294000000, asns[1], 65530); err == nil {
+		t.Error("unknown victim accepted")
+	}
+	if _, err := BuildSiblingScenario(g, asns[0], asns[1], asns[2]); err == nil {
+		t.Error("in-use sibling ASN accepted")
+	}
+	sc, err := BuildSiblingScenario(g, asns[0], asns[1], 65530)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Graph.NumASes() != g.NumASes()+1 {
+		t.Errorf("extended graph has %d ASes, want %d", sc.Graph.NumASes(), g.NumASes()+1)
+	}
+	if !sc.Graph.HasSiblings() {
+		t.Error("extended graph has no sibling link")
+	}
+	// The original graph is untouched.
+	if g.HasSiblings() || g.Has(65530) {
+		t.Error("BuildSiblingScenario mutated the input graph")
+	}
+	if _, err := sc.Sweep(0); err == nil {
+		t.Error("Sweep(0) accepted")
+	}
+}

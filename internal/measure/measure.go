@@ -1,0 +1,308 @@
+// Package measure characterizes AS-path-prepending usage as seen from
+// route monitors — the paper's Section VI-A measurement (Figs. 5 and 6) —
+// by computing full routing tables and failure-driven update streams over
+// a topology whose origins follow realistic prepending policies.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aspp/internal/bgp"
+	"aspp/internal/collector"
+	"aspp/internal/parallel"
+	"aspp/internal/routing"
+	"aspp/internal/stats"
+	"aspp/internal/topology"
+)
+
+// SurveyConfig parameterizes RunSurvey.
+type SurveyConfig struct {
+	// Monitors are the vantage-point ASes whose tables and updates are
+	// analyzed (the paper uses the RouteViews/RIPE peer set; we default
+	// to top-degree plus random ASes via DefaultMonitors).
+	Monitors []bgp.ASN
+	// ChurnEvents is the number of primary-link failure/restore cycles
+	// generating the update stream.
+	ChurnEvents int
+	// Workers bounds the propagation fan-out (<=0: GOMAXPROCS).
+	Workers int
+	// Seed drives churn sampling.
+	Seed int64
+	// Memoize shares one propagation across all prefixes of an origin
+	// with identical announcements (on by default in DefaultSurveyConfig;
+	// the ablation benchmark turns it off).
+	Memoize bool
+}
+
+// DefaultSurveyConfig returns the standard survey setup.
+func DefaultSurveyConfig() SurveyConfig {
+	return SurveyConfig{ChurnEvents: 200, Seed: 1, Memoize: true}
+}
+
+// DefaultMonitors mimics the public route-monitor deployment: every
+// tier-1 (all of them feed RouteViews), the nTop highest-degree ASes, and
+// nRandom arbitrary edge feeds, deterministically.
+func DefaultMonitors(g *topology.Graph, nTop, nRandom int, seed int64) []bgp.ASN {
+	monitors := g.Tier1s()
+	have := make(map[bgp.ASN]bool, len(monitors)+nTop+nRandom)
+	for _, m := range monitors {
+		have[m] = true
+	}
+	for _, m := range g.TopByDegree(nTop) {
+		if !have[m] {
+			have[m] = true
+			monitors = append(monitors, m)
+		}
+	}
+	asns := g.ASNs()
+	target := len(monitors) + nRandom
+	// Simple deterministic LCG walk over the AS list avoids importing
+	// math/rand for three picks.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for len(monitors) < target && len(monitors) < len(asns) {
+		x = x*6364136223846793005 + 1442695040888963407
+		cand := asns[x%uint64(len(asns))]
+		if !have[cand] {
+			have[cand] = true
+			monitors = append(monitors, cand)
+		}
+	}
+	return monitors
+}
+
+// MonitorFrac is one vantage point's prepending fraction.
+type MonitorFrac struct {
+	Monitor bgp.ASN
+	Tier    int
+	// Frac is the fraction of prefixes (tables) or announcements
+	// (updates) whose AS path carries prepending.
+	Frac float64
+}
+
+// SurveyResult carries everything Figs. 5-6 plot.
+type SurveyResult struct {
+	// TableFracs: per monitor, fraction of prefixes whose steady-state
+	// best path contains prepending (Fig. 5 "all (table)").
+	TableFracs []MonitorFrac
+	// Tier1TableFracs restricts to tier-1 monitors (Fig. 5 "tier 1").
+	Tier1TableFracs []MonitorFrac
+	// UpdateFracs: per monitor, fraction of update announcements with
+	// prepending (Fig. 5 "all (updates)").
+	UpdateFracs []MonitorFrac
+	// TablePrependDist / UpdatePrependDist: distribution of the maximum
+	// prepend-run length over prepended routes (Fig. 6).
+	TablePrependDist  *stats.Histogram
+	UpdatePrependDist *stats.Histogram
+	// Totals for reporting.
+	Prefixes, Origins, Updates int
+}
+
+// TableCDF returns the CDF of TableFracs values.
+func (r *SurveyResult) TableCDF() (*stats.CDF, error) { return fracCDF(r.TableFracs) }
+
+// Tier1CDF returns the CDF of Tier1TableFracs values.
+func (r *SurveyResult) Tier1CDF() (*stats.CDF, error) { return fracCDF(r.Tier1TableFracs) }
+
+// UpdateCDF returns the CDF of UpdateFracs values.
+func (r *SurveyResult) UpdateCDF() (*stats.CDF, error) { return fracCDF(r.UpdateFracs) }
+
+func fracCDF(fracs []MonitorFrac) (*stats.CDF, error) {
+	vals := make([]float64, 0, len(fracs))
+	for _, f := range fracs {
+		vals = append(vals, f.Frac)
+	}
+	return stats.NewCDF(vals)
+}
+
+// RunSurvey computes routing tables for every origin's prefixes, derives
+// per-monitor prepending fractions, then replays churn events to build the
+// update-stream statistics.
+func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyConfig) (*SurveyResult, error) {
+	if len(origins) == 0 {
+		return nil, errors.New("measure: no origins")
+	}
+	monitors := cfg.Monitors
+	if len(monitors) == 0 {
+		monitors = DefaultMonitors(g, 30, 10, cfg.Seed)
+	}
+	monIdx := make([]int32, len(monitors))
+	for i, m := range monitors {
+		idx, ok := g.Index(m)
+		if !ok {
+			return nil, fmt.Errorf("measure: monitor %v not in topology", m)
+		}
+		monIdx[i] = idx
+	}
+
+	res := &SurveyResult{
+		TablePrependDist:  stats.NewHistogram(),
+		UpdatePrependDist: stats.NewHistogram(),
+		Origins:           len(origins),
+	}
+
+	// Steady-state tables: one propagation per origin (all its prefixes
+	// share the announcement); weight per-prefix afterwards. Without
+	// memoization, propagate once per prefix (ablation only).
+	type originTables struct {
+		prep    []int16 // origin-prepend runs seen at each monitor (len(monitors)); -1 unreachable
+		maxPrep []int16 // max run in the path (prepending by origin only here)
+		nPfx    int
+	}
+	perOrigin := parallel.Map(len(origins), cfg.Workers, func(i int) originTables {
+		oc := origins[i]
+		runs := 1
+		if !cfg.Memoize {
+			runs = len(oc.Prefixes)
+		}
+		var ot originTables
+		ot.nPfx = len(oc.Prefixes)
+		for r := 0; r < runs; r++ {
+			rt, err := routing.Propagate(g, oc.Announcement)
+			if err != nil {
+				// Origins are validated at assignment; a failure here is
+				// a programming error surfaced by tests.
+				panic(fmt.Sprintf("measure: propagate %v: %v", oc.AS, err))
+			}
+			if r > 0 {
+				continue // identical result; the extra runs are the ablation cost
+			}
+			ot.prep = make([]int16, len(monIdx))
+			ot.maxPrep = make([]int16, len(monIdx))
+			for mi, idx := range monIdx {
+				if !rt.ReachableIdx(idx) || idx == rt.OriginIdx() {
+					ot.prep[mi] = -1
+					continue
+				}
+				ot.prep[mi] = rt.Prep[idx]
+				ot.maxPrep[mi] = rt.Prep[idx]
+			}
+		}
+		return ot
+	})
+
+	// Aggregate table stats per monitor.
+	total := make([]int, len(monitors))
+	prepended := make([]int, len(monitors))
+	for _, ot := range perOrigin {
+		for mi := range monIdx {
+			if ot.prep == nil || ot.prep[mi] < 0 {
+				continue
+			}
+			total[mi] += ot.nPfx
+			if ot.prep[mi] >= 2 {
+				prepended[mi] += ot.nPfx
+				res.TablePrependDist.AddN(int(ot.maxPrep[mi]), ot.nPfx)
+			}
+		}
+	}
+	for _, oc := range origins {
+		res.Prefixes += len(oc.Prefixes)
+	}
+	for mi, m := range monitors {
+		if total[mi] == 0 {
+			continue
+		}
+		mf := MonitorFrac{
+			Monitor: m,
+			Tier:    g.Tier(m),
+			Frac:    float64(prepended[mi]) / float64(total[mi]),
+		}
+		res.TableFracs = append(res.TableFracs, mf)
+		if mf.Tier == 1 {
+			res.Tier1TableFracs = append(res.Tier1TableFracs, mf)
+		}
+	}
+
+	// Update stream: each churn event fails an origin's primary upstream
+	// and restores it; monitors whose best route changes emit updates.
+	events := collector.PlanChurn(origins, cfg.ChurnEvents, cfg.Seed)
+	byAS := make(map[bgp.ASN]collector.OriginConfig, len(origins))
+	originPos := make(map[bgp.ASN]int, len(origins))
+	for i, oc := range origins {
+		byAS[oc.AS] = oc
+		originPos[oc.AS] = i
+	}
+	type updStats struct {
+		total, prepended []int
+		dist             *stats.Histogram
+		updates          int
+	}
+	perEvent := parallel.Map(len(events), cfg.Workers, func(i int) updStats {
+		ev := events[i]
+		oc := byAS[ev.Origin]
+		weight := len(oc.Prefixes)
+		us := updStats{
+			total:     make([]int, len(monIdx)),
+			prepended: make([]int, len(monIdx)),
+			dist:      stats.NewHistogram(),
+		}
+		failedAnn := oc.Announcement
+		failedAnn.Withhold = map[bgp.ASN]bool{ev.Primary: true}
+		failed, err := routing.Propagate(g, failedAnn)
+		if err != nil {
+			panic(fmt.Sprintf("measure: churn propagate %v: %v", oc.AS, err))
+		}
+		steady := perOrigin[originPos[ev.Origin]]
+		for mi, idx := range monIdx {
+			before := int16(-1)
+			if steady.prep != nil {
+				before = steady.prep[mi]
+			}
+			after := int16(-1)
+			if failed.ReachableIdx(idx) && idx != failed.OriginIdx() {
+				after = failed.Prep[idx]
+			}
+			if before == after {
+				continue // no visible change at this monitor
+			}
+			// Failure announcement (or withdraw) plus restore announcement.
+			for _, p := range []int16{after, before} {
+				if p < 0 {
+					continue // withdrawal: no path to classify
+				}
+				us.updates += weight
+				us.total[mi] += weight
+				if p >= 2 {
+					us.prepended[mi] += weight
+					us.dist.AddN(int(p), weight)
+				}
+			}
+		}
+		return us
+	})
+	updTotal := make([]int, len(monitors))
+	updPrepended := make([]int, len(monitors))
+	for _, us := range perEvent {
+		res.UpdatePrependDist.Merge(us.dist)
+		res.Updates += us.updates
+		for mi := range monIdx {
+			updTotal[mi] += us.total[mi]
+			updPrepended[mi] += us.prepended[mi]
+		}
+	}
+	for mi, m := range monitors {
+		if updTotal[mi] == 0 {
+			continue
+		}
+		res.UpdateFracs = append(res.UpdateFracs, MonitorFrac{
+			Monitor: m,
+			Tier:    g.Tier(m),
+			Frac:    float64(updPrepended[mi]) / float64(updTotal[mi]),
+		})
+	}
+	sortFracs(res.TableFracs)
+	sortFracs(res.Tier1TableFracs)
+	sortFracs(res.UpdateFracs)
+	return res, nil
+}
+
+func sortFracs(f []MonitorFrac) {
+	sort.Slice(f, func(a, b int) bool {
+		if f[a].Frac != f[b].Frac {
+			return f[a].Frac < f[b].Frac
+		}
+		return f[a].Monitor < f[b].Monitor
+	})
+}

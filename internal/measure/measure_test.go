@@ -1,0 +1,202 @@
+package measure
+
+import (
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/collector"
+	"aspp/internal/topology"
+)
+
+func surveySetup(t testing.TB, n int, seed int64) (*topology.Graph, []collector.OriginConfig) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(n)
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	origins, err := collector.AssignOrigins(g, collector.DefaultPolicyConfig())
+	if err != nil {
+		t.Fatalf("AssignOrigins: %v", err)
+	}
+	return g, origins
+}
+
+func TestRunSurveyShapes(t *testing.T) {
+	g, origins := surveySetup(t, 600, 11)
+	cfg := DefaultSurveyConfig()
+	cfg.ChurnEvents = 120
+	res, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatalf("RunSurvey: %v", err)
+	}
+	if len(res.TableFracs) == 0 || len(res.UpdateFracs) == 0 {
+		t.Fatal("empty per-monitor series")
+	}
+	if res.Prefixes == 0 || res.Updates == 0 {
+		t.Fatalf("Prefixes=%d Updates=%d, want nonzero", res.Prefixes, res.Updates)
+	}
+
+	tableCDF, err := res.TableCDF()
+	if err != nil {
+		t.Fatalf("TableCDF: %v", err)
+	}
+	updateCDF, err := res.UpdateCDF()
+	if err != nil {
+		t.Fatalf("UpdateCDF: %v", err)
+	}
+	// Paper Fig. 5 shape checks:
+	// (1) a nontrivial fraction of table routes carries prepending
+	//     (paper mean ~13%, "up to 30%");
+	mean := tableCDF.Mean()
+	if mean < 0.02 || mean > 0.5 {
+		t.Errorf("mean table prepending fraction = %.3f, want Internet-like (0.02..0.5)", mean)
+	}
+	// (2) update streams show more prepending than steady-state tables,
+	//     because failovers expose padded backup routes.
+	if updateCDF.Mean() <= tableCDF.Mean() {
+		t.Errorf("updates mean (%.3f) <= tables mean (%.3f); churn model broken",
+			updateCDF.Mean(), tableCDF.Mean())
+	}
+
+	// Fig. 6 shape checks: λ=2 dominates prepended table routes, with a
+	// decreasing head.
+	d := res.TablePrependDist
+	if d.Total() == 0 {
+		t.Fatal("empty table prepend distribution")
+	}
+	if d.Fraction(2) < d.Fraction(3) || d.Fraction(3) < d.Fraction(6) {
+		t.Errorf("prepend distribution head not decreasing: f(2)=%.3f f(3)=%.3f f(6)=%.3f",
+			d.Fraction(2), d.Fraction(3), d.Fraction(6))
+	}
+	// Update routes skew to heavier padding (backup routes).
+	tableMean, updateMean := histMean(t, res), histMeanUpd(t, res)
+	if updateMean <= tableMean {
+		t.Errorf("update prepend mean %.2f <= table mean %.2f", updateMean, tableMean)
+	}
+	// No prepend count below 2 may ever be recorded.
+	for _, v := range d.Values() {
+		if v < 2 {
+			t.Errorf("prepend distribution contains λ=%d", v)
+		}
+	}
+}
+
+func histMean(t *testing.T, res *SurveyResult) float64 {
+	t.Helper()
+	return meanOf(res.TablePrependDist.Values(), res.TablePrependDist.Fraction)
+}
+
+func histMeanUpd(t *testing.T, res *SurveyResult) float64 {
+	t.Helper()
+	return meanOf(res.UpdatePrependDist.Values(), res.UpdatePrependDist.Fraction)
+}
+
+func meanOf(values []int, frac func(int) float64) float64 {
+	m := 0.0
+	for _, v := range values {
+		m += float64(v) * frac(v)
+	}
+	return m
+}
+
+func TestRunSurveyTier1SeesMore(t *testing.T) {
+	// The paper's key Fig. 5 observation: tier-1 monitors see prepended
+	// routes on a larger fraction of prefixes than (multihomed) edge
+	// monitors — an edge AS picks the shortest of its providers' routes,
+	// filtering out long padded paths, while a tier-1 is forced by
+	// customer-route preference to carry padded customer routes.
+	g, origins := surveySetup(t, 1200, 12)
+	cfg := DefaultSurveyConfig()
+	cfg.ChurnEvents = 0
+	cfg.Monitors = DefaultMonitors(g, 20, 60, 1)
+	res, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatalf("RunSurvey: %v", err)
+	}
+	if len(res.Tier1TableFracs) == 0 {
+		t.Fatal("DefaultMonitors must include tier-1 feeds")
+	}
+	t1, err := res.Tier1CDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edge []float64
+	for _, f := range res.TableFracs {
+		if f.Tier >= 2 && len(g.Providers(f.Monitor)) >= 2 && g.IsStub(f.Monitor) {
+			edge = append(edge, f.Frac)
+		}
+	}
+	if len(edge) == 0 {
+		t.Fatal("no multihomed edge monitors in set")
+	}
+	edgeMean := 0.0
+	for _, v := range edge {
+		edgeMean += v
+	}
+	edgeMean /= float64(len(edge))
+	if t1.Mean() <= edgeMean {
+		t.Errorf("tier-1 mean %.3f <= multihomed-edge mean %.3f, want >", t1.Mean(), edgeMean)
+	}
+}
+
+func TestRunSurveyMemoizationEquivalence(t *testing.T) {
+	g, origins := surveySetup(t, 300, 13)
+	cfg := DefaultSurveyConfig()
+	cfg.ChurnEvents = 30
+	withMemo, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Memoize = false
+	without, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withMemo.TableFracs) != len(without.TableFracs) {
+		t.Fatalf("series lengths differ")
+	}
+	for i := range withMemo.TableFracs {
+		a, b := withMemo.TableFracs[i], without.TableFracs[i]
+		if a.Monitor != b.Monitor || a.Frac != b.Frac {
+			t.Fatalf("memoization changed results at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRunSurveyWorkerEquivalence(t *testing.T) {
+	g, origins := surveySetup(t, 300, 14)
+	cfg := DefaultSurveyConfig()
+	cfg.ChurnEvents = 40
+	cfg.Workers = 1
+	serial, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := RunSurvey(g, origins, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.UpdateFracs {
+		if serial.UpdateFracs[i] != par.UpdateFracs[i] {
+			t.Fatalf("worker count changed results at %d", i)
+		}
+	}
+	if serial.Updates != par.Updates {
+		t.Fatalf("update totals differ: %d vs %d", serial.Updates, par.Updates)
+	}
+}
+
+func TestRunSurveyErrors(t *testing.T) {
+	g, origins := surveySetup(t, 300, 15)
+	if _, err := RunSurvey(g, nil, DefaultSurveyConfig()); err == nil {
+		t.Error("empty origins accepted")
+	}
+	cfg := DefaultSurveyConfig()
+	cfg.Monitors = []bgp.ASN{99999999}
+	if _, err := RunSurvey(g, origins, cfg); err == nil {
+		t.Error("unknown monitor accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Package parallel provides the bounded fan-out helper the experiment
+// drivers use to simulate many attacker/victim pairs and many prefixes
+// concurrently, with deterministic, index-addressed result merging.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). It blocks until all calls
+// complete; no goroutine outlives the call. Results must be written to
+// index-addressed storage by the callers (out[i] = ...), which keeps the
+// merge deterministic regardless of scheduling.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with bounded fan-out and collects the results
+// in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 53
+		var hits [n]int32
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for n <= 0")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(10, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachParallelism(t *testing.T) {
+	// With enough workers, at least two goroutines must run concurrently:
+	// pair up via a rendezvous counter.
+	var peak, cur int32
+	ForEach(8, 8, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // widen the overlap window
+			atomic.LoadInt32(&cur)
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak < 1 {
+		t.Fatalf("peak concurrency %d", peak)
+	}
+}
+
+func TestForEachLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ForEach(50, 8, func(int) {})
+	}
+	// Allow the runtime a moment to reap exited goroutines.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,60 @@
+package relinfer
+
+import (
+	"errors"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/parallel"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// CollectPaths harvests the AS paths that a set of route monitors would
+// export for routes toward the given origins — the input a real inference
+// pipeline extracts from RouteViews/RIPE table dumps. Each path includes
+// the monitor's own ASN at the front, matching collector exports.
+func CollectPaths(g *topology.Graph, origins, monitors []bgp.ASN, workers int) ([]bgp.Path, error) {
+	if len(origins) == 0 || len(monitors) == 0 {
+		return nil, errors.New("relinfer: need origins and monitors")
+	}
+	perOrigin := parallel.Map(len(origins), workers, func(i int) []bgp.Path {
+		res, err := routing.Propagate(g, routing.Announcement{Origin: origins[i], Prepend: 1})
+		if err != nil {
+			panic(fmt.Sprintf("relinfer: propagate %v: %v", origins[i], err))
+		}
+		var out []bgp.Path
+		for _, m := range monitors {
+			if m == origins[i] {
+				continue
+			}
+			if p := res.PathOf(m); p != nil {
+				out = append(out, p.Prepend(m, 1))
+			}
+		}
+		return out
+	})
+	var all []bgp.Path
+	for _, ps := range perOrigin {
+		all = append(all, ps...)
+	}
+	if len(all) == 0 {
+		return nil, errors.New("relinfer: no paths observed")
+	}
+	return all, nil
+}
+
+// SampleOrigins picks up to n origin ASes spread deterministically over
+// the graph (every k-th AS in index order).
+func SampleOrigins(g *topology.Graph, n int) []bgp.ASN {
+	asns := g.ASNs()
+	if n <= 0 || n >= len(asns) {
+		return asns
+	}
+	out := make([]bgp.ASN, 0, n)
+	step := len(asns) / n
+	for i := 0; i < len(asns) && len(out) < n; i += step {
+		out = append(out, asns[i])
+	}
+	return out
+}

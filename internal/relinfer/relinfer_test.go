@@ -1,0 +1,222 @@
+package relinfer
+
+import (
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/measure"
+	"aspp/internal/topology"
+)
+
+func mustPaths(t *testing.T, specs ...string) []bgp.Path {
+	t.Helper()
+	out := make([]bgp.Path, 0, len(specs))
+	for _, s := range specs {
+		p, err := bgp.ParsePath(s)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", s, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestGaoSimpleHierarchy(t *testing.T) {
+	// Hierarchy: 9 (global top, degree 4: customers 1, 6 and leaf 90)
+	// over 1 (customers 2, 3) and 6 (customer 7); leaves 20, 30, 70.
+	paths := mustPaths(t,
+		"20 2 1 9 6 7 70",
+		"70 7 6 9 1 2 20",
+		"30 3 1 2 20",
+		"90 9 1 2 20",
+		"90 9 1 3 30",
+		"90 9 6 7 70",
+	)
+	in, err := Gao(paths, GaoConfig{})
+	if err != nil {
+		t.Fatalf("Gao: %v", err)
+	}
+	// Every edge that appears below some other AS's top resolves as p2c.
+	wantProvider := [][2]bgp.ASN{{1, 2}, {1, 3}, {2, 20}, {3, 30}, {6, 7}, {7, 70}}
+	for _, pc := range wantProvider {
+		if got := in.RelOf(pc[1], pc[0]); got != topology.RelProvider {
+			t.Errorf("RelOf(%v,%v) = %v, want provider", pc[1], pc[0], got)
+		}
+		if got := in.RelOf(pc[0], pc[1]); got != topology.RelCustomer {
+			t.Errorf("RelOf(%v,%v) = %v, want customer", pc[0], pc[1], got)
+		}
+	}
+	if got := in.RelOf(2, 3); got != topology.RelNone {
+		t.Errorf("RelOf(2,3) = %v, want none (not adjacent)", got)
+	}
+}
+
+func TestGaoApexAmbiguityResolvedBySeeds(t *testing.T) {
+	// The root's own customer links are only ever seen adjacent to the
+	// path top: indistinguishable from peering without outside knowledge
+	// (the reason the paper seeds Gao with known tier-1 relationships).
+	paths := mustPaths(t,
+		"20 2 1 9 6 7 70",
+		"70 7 6 9 1 2 20",
+		"90 9 1 2 20",
+		"90 9 6 7 70",
+	)
+	plain, err := Gao(paths, GaoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.RelOf(1, 9); got != topology.RelPeer {
+		t.Errorf("unseeded apex edge RelOf(1,9) = %v, want the documented peer ambiguity", got)
+	}
+	seeded, err := Gao(paths, GaoConfig{Seeds: [][2]bgp.ASN{{9, 1}, {9, 6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seeded.RelOf(1, 9); got != topology.RelProvider {
+		t.Errorf("seeded RelOf(1,9) = %v, want provider", got)
+	}
+	if got := seeded.RelOf(9, 6); got != topology.RelCustomer {
+		t.Errorf("seeded RelOf(9,6) = %v, want customer", got)
+	}
+}
+
+func TestGaoEmptyInput(t *testing.T) {
+	if _, err := Gao(nil, GaoConfig{}); err == nil {
+		t.Error("Gao accepted empty input")
+	}
+}
+
+func TestGaoTier1Seeding(t *testing.T) {
+	// Two top providers 1 and 2 peer; without seeding their link's
+	// direction is ambiguous from one-sided paths.
+	paths := mustPaths(t,
+		"10 1 2 20",
+		"20 2 1 10",
+		"11 1 2 21",
+		"21 2 1 11",
+	)
+	in, err := Gao(paths, GaoConfig{Tier1: []bgp.ASN{1, 2}})
+	if err != nil {
+		t.Fatalf("Gao: %v", err)
+	}
+	if got := in.RelOf(1, 2); got != topology.RelPeer {
+		t.Errorf("RelOf(1,2) = %v, want peer", got)
+	}
+}
+
+func TestInferredRelOfDirections(t *testing.T) {
+	in := newInferred()
+	in.set(10, 200) // 10 provides to 200 (low provider)
+	in.set(300, 20) // 300 provides to 20 (high provider)
+	in.setPeer(5, 6)
+	tests := []struct {
+		a, b bgp.ASN
+		want topology.RelTo
+	}{
+		{a: 200, b: 10, want: topology.RelProvider},
+		{a: 10, b: 200, want: topology.RelCustomer},
+		{a: 20, b: 300, want: topology.RelProvider},
+		{a: 300, b: 20, want: topology.RelCustomer},
+		{a: 5, b: 6, want: topology.RelPeer},
+		{a: 6, b: 5, want: topology.RelPeer},
+		{a: 5, b: 7, want: topology.RelNone},
+	}
+	for _, tt := range tests {
+		if got := in.RelOf(tt.a, tt.b); got != tt.want {
+			t.Errorf("RelOf(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func inferenceFixture(t *testing.T, n int, seed int64) (*topology.Graph, []bgp.Path) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(n)
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitors := measure.DefaultMonitors(g, 25, 15, 1)
+	paths, err := CollectPaths(g, SampleOrigins(g, 150), monitors, 0)
+	if err != nil {
+		t.Fatalf("CollectPaths: %v", err)
+	}
+	return g, paths
+}
+
+func TestGaoAccuracyOnGeneratedInternet(t *testing.T) {
+	g, paths := inferenceFixture(t, 600, 21)
+	in, err := Gao(paths, GaoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Score(in, g)
+	if acc.Links < 200 {
+		t.Fatalf("only %d links classified", acc.Links)
+	}
+	if acc.Unknown > 0 {
+		t.Errorf("%d inferred links not in the truth graph", acc.Unknown)
+	}
+	if got := acc.Overall(); got < 0.80 {
+		t.Errorf("overall accuracy = %.3f, want >= 0.80 (%+v)", got, acc)
+	}
+	// Direction flips on provider-customer links must be rare.
+	if frac := float64(acc.WrongDirection) / float64(acc.Links); frac > 0.05 {
+		t.Errorf("wrong-direction fraction = %.3f, want <= 0.05", frac)
+	}
+}
+
+func TestConsensusNotWorseThanParts(t *testing.T) {
+	g, paths := inferenceFixture(t, 600, 22)
+	plain, err := Gao(paths, GaoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Tier1Seeded(paths, g.Tier1s())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Consensus(paths, plain, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accPlain, accSeeded, accCons := Score(plain, g), Score(seeded, g), Score(cons, g)
+	worst := accPlain.Overall()
+	if accSeeded.Overall() < worst {
+		worst = accSeeded.Overall()
+	}
+	if accCons.Overall()+0.02 < worst {
+		t.Errorf("consensus accuracy %.3f clearly below parts (%.3f / %.3f)",
+			accCons.Overall(), accPlain.Overall(), accSeeded.Overall())
+	}
+}
+
+func TestCollectPathsErrors(t *testing.T) {
+	cfg := topology.DefaultGenConfig(100)
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectPaths(g, nil, g.Tier1s(), 0); err == nil {
+		t.Error("empty origins accepted")
+	}
+	if _, err := CollectPaths(g, g.Tier1s(), nil, 0); err == nil {
+		t.Error("empty monitors accepted")
+	}
+}
+
+func TestSampleOrigins(t *testing.T) {
+	cfg := topology.DefaultGenConfig(100)
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SampleOrigins(g, 10)
+	if len(got) != 10 {
+		t.Errorf("SampleOrigins(10) returned %d", len(got))
+	}
+	all := SampleOrigins(g, 0)
+	if len(all) != g.NumASes() {
+		t.Errorf("SampleOrigins(0) returned %d, want all", len(all))
+	}
+}

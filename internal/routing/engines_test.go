@@ -1,0 +1,258 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// This file property-tests the Fast engine against the Reference engine:
+// on random Internet-like graphs with random victims, attackers, prepend
+// levels and export modes, both must produce the identical stable outcome,
+// and every produced path must satisfy the protocol invariants.
+
+func randomScenario(t *testing.T, rng *rand.Rand) (*topology.Graph, Announcement, Attacker) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(60 + rng.Intn(140))
+	cfg.Tier1 = 3 + rng.Intn(4)
+	cfg.Seed = rng.Int63()
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	asns := g.ASNs()
+	victim := asns[rng.Intn(len(asns))]
+	attacker := victim
+	for attacker == victim {
+		attacker = asns[rng.Intn(len(asns))]
+	}
+	ann := Announcement{Origin: victim, Prepend: 1 + rng.Intn(6)}
+	if rng.Intn(3) == 0 {
+		// Per-neighbor prepending on a few neighbors.
+		ann.PerNeighbor = make(map[bgp.ASN]int)
+		for _, nbr := range g.Providers(victim) {
+			if rng.Intn(2) == 0 {
+				ann.PerNeighbor[nbr] = 1 + rng.Intn(6)
+			}
+		}
+	}
+	if rng.Intn(4) == 0 {
+		// Withhold the announcement from one provider (a failed session),
+		// the churn model's primary-link failure.
+		providers := g.Providers(victim)
+		if len(providers) > 1 {
+			ann.Withhold = map[bgp.ASN]bool{providers[rng.Intn(len(providers))]: true}
+		}
+	}
+	atk := Attacker{
+		AS:                attacker,
+		KeepPrepend:       1 + rng.Intn(2),
+		ViolateValleyFree: rng.Intn(2) == 0,
+	}
+	return g, ann, atk
+}
+
+func compareResults(t *testing.T, g *topology.Graph, fast, ref *Result, label string) {
+	t.Helper()
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		asn := g.ASNAt(i)
+		if fast.Class[i] != ref.Class[i] {
+			t.Errorf("%s: Class[%v] fast=%v ref=%v", label, asn, fast.Class[i], ref.Class[i])
+		}
+		if fast.Len[i] != ref.Len[i] {
+			t.Errorf("%s: Len[%v] fast=%d ref=%d", label, asn, fast.Len[i], ref.Len[i])
+		}
+		if fast.Prep[i] != ref.Prep[i] {
+			t.Errorf("%s: Prep[%v] fast=%d ref=%d", label, asn, fast.Prep[i], ref.Prep[i])
+		}
+		if fast.Parent[i] != ref.Parent[i] {
+			var fp, rp bgp.ASN
+			if fast.Parent[i] >= 0 {
+				fp = g.ASNAt(fast.Parent[i])
+			}
+			if ref.Parent[i] >= 0 {
+				rp = g.ASNAt(ref.Parent[i])
+			}
+			t.Errorf("%s: Parent[%v] fast=%v ref=%v", label, asn, fp, rp)
+		}
+		if fast.Via != nil && ref.Via != nil && fast.Via[i] != ref.Via[i] {
+			t.Errorf("%s: Via[%v] fast=%v ref=%v", label, asn, fast.Via[i], ref.Via[i])
+		}
+	}
+}
+
+// checkInvariants asserts protocol invariants on every path in res.
+func checkInvariants(t *testing.T, g *topology.Graph, res *Result, ann Announcement, atk *Attacker, label string) {
+	t.Helper()
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		asn := g.ASNAt(i)
+		if !res.ReachableIdx(i) || i == res.OriginIdx() {
+			continue
+		}
+		path := res.PathOfIdx(i)
+		if int32(len(path)) != res.Len[i] {
+			t.Errorf("%s: %v: len(PathOf)=%d, Len=%d", label, asn, len(path), res.Len[i])
+		}
+		if path.HasLoop() {
+			t.Errorf("%s: %v: path %v has a loop", label, asn, path)
+		}
+		if got := path.OriginPrepend(); got != int(res.Prep[i]) {
+			t.Errorf("%s: %v: OriginPrepend=%d, Prep=%d", label, asn, got, res.Prep[i])
+		}
+		if o, _ := path.Origin(); o != ann.Origin {
+			t.Errorf("%s: %v: path origin %v, want %v", label, asn, o, ann.Origin)
+		}
+		// The parent must be a neighbor and the class must match the
+		// relationship toward it.
+		parent := g.ASNAt(res.Parent[i])
+		rel := g.RelOf(asn, parent)
+		wantClass := map[topology.RelTo]Class{
+			topology.RelCustomer: ClassCustomer,
+			topology.RelPeer:     ClassPeer,
+			topology.RelProvider: ClassProvider,
+		}[rel]
+		if wantClass == ClassNone {
+			t.Errorf("%s: %v: parent %v is not a neighbor", label, asn, parent)
+		} else if res.Class[i] != wantClass {
+			t.Errorf("%s: %v: class %v but parent relationship %v", label, asn, res.Class[i], rel)
+		}
+		checkValleyFree(t, g, path, asn, atk, label)
+	}
+}
+
+// checkValleyFree verifies the announcement's travel V -> ... -> holder is
+// shaped up* peer? down*, except at a valley-free-violating attacker.
+func checkValleyFree(t *testing.T, g *topology.Graph, path bgp.Path, holder bgp.ASN, atk *Attacker, label string) {
+	t.Helper()
+	// Rebuild the node sequence [V ... first-hop, holder] and classify
+	// each step from the announcement's perspective.
+	uniq := path.Unique()
+	nodes := make([]bgp.ASN, 0, len(uniq)+1)
+	for i := len(uniq) - 1; i >= 0; i-- {
+		nodes = append(nodes, uniq[i])
+	}
+	nodes = append(nodes, holder)
+	const (
+		stepUp = iota
+		stepPeer
+		stepDown
+	)
+	phase := stepUp
+	for i := 0; i+1 < len(nodes); i++ {
+		from, to := nodes[i], nodes[i+1]
+		var step int
+		switch g.RelOf(from, to) {
+		case topology.RelProvider:
+			step = stepUp
+		case topology.RelPeer:
+			step = stepPeer
+		case topology.RelCustomer:
+			step = stepDown
+		default:
+			t.Errorf("%s: %v: non-adjacent hop %v->%v in path %v", label, holder, from, to, path)
+			return
+		}
+		if step < phase {
+			// Violations are legal exactly when the violating attacker is
+			// the AS that re-exported the route (the "from" AS).
+			if atk != nil && atk.ViolateValleyFree && from == atk.AS {
+				phase = step
+				continue
+			}
+			t.Errorf("%s: %v: valley in path %v at hop %v->%v", label, holder, path, from, to)
+			return
+		}
+		if step == stepPeer && phase == stepPeer {
+			t.Errorf("%s: %v: two peer hops in path %v", label, holder, path)
+			return
+		}
+		phase = step
+	}
+}
+
+func TestEnginesAgreeBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g, ann, _ := randomScenario(t, rng)
+		label := fmt.Sprintf("trial %d (origin %v λ=%d)", trial, ann.Origin, ann.Prepend)
+		fast, err := Propagate(g, ann)
+		if err != nil {
+			t.Fatalf("%s: Propagate: %v", label, err)
+		}
+		ref, err := PropagateReference(g, ann, nil)
+		if err != nil {
+			t.Fatalf("%s: PropagateReference: %v", label, err)
+		}
+		compareResults(t, g, fast, ref, label)
+		checkInvariants(t, g, fast, ann, nil, label)
+		if t.Failed() {
+			t.Fatalf("%s: stopping after first failing trial", label)
+		}
+	}
+}
+
+func TestEnginesAgreeUnderAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1337))
+	attacks := 0
+	for trial := 0; trial < 40; trial++ {
+		g, ann, atk := randomScenario(t, rng)
+		label := fmt.Sprintf("trial %d (V=%v M=%v λ=%d keep=%d violate=%v)",
+			trial, ann.Origin, atk.AS, ann.Prepend, atk.KeepPrepend, atk.ViolateValleyFree)
+
+		base, err := Propagate(g, ann)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", label, err)
+		}
+		fast, err := PropagateAttack(g, ann, atk, base)
+		if err == ErrUnreachableAttacker {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: PropagateAttack: %v", label, err)
+		}
+		ref, err := PropagateReference(g, ann, &atk)
+		if err != nil {
+			t.Fatalf("%s: PropagateReference: %v", label, err)
+		}
+		attacks++
+		compareResults(t, g, fast, ref, label)
+		checkInvariants(t, g, fast, ann, &atk, label)
+
+		// The attacker's own route must be pinned to its baseline route.
+		ai, _ := g.Index(atk.AS)
+		if fast.Len[ai] != base.Len[ai] || fast.Parent[ai] != base.Parent[ai] {
+			t.Errorf("%s: attacker's own route changed under its attack", label)
+		}
+		if t.Failed() {
+			t.Fatalf("%s: stopping after first failing trial", label)
+		}
+	}
+	if attacks < 20 {
+		t.Fatalf("only %d usable attack trials, want >= 20", attacks)
+	}
+}
+
+func TestEnginesAgreeOnHandGraph(t *testing.T) {
+	g := testGraph(t)
+	for _, lambda := range []int{1, 2, 3, 5, 8} {
+		for _, attacker := range []bgp.ASN{30, 50, 60, 200} {
+			for _, violate := range []bool{false, true} {
+				ann := Announcement{Origin: 100, Prepend: lambda}
+				atk := Attacker{AS: attacker, ViolateValleyFree: violate}
+				label := fmt.Sprintf("M=%v λ=%d violate=%v", attacker, lambda, violate)
+				fast, err := PropagateAttack(g, ann, atk, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				ref, err := PropagateReference(g, ann, &atk)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				compareResults(t, g, fast, ref, label)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package routing
+
+import (
+	"errors"
+
+	"aspp/internal/topology"
+)
+
+// cand is one candidate route during relaxation.
+type cand struct {
+	len    int32 // received AS-path length incl. prepends; -1 = none
+	parent int32 // neighbor the route was learned from
+	prep   int16 // origin copies in the path
+	via    bool  // path traverses the attacker
+}
+
+// fastState carries the per-class candidate tables of one propagation.
+type fastState struct {
+	g      *topology.Graph
+	origin int32
+	ann    Announcement
+
+	cust, peer, prov []cand
+
+	// attack state (atkIdx < 0 when no attacker)
+	atkIdx  int32
+	keep    int16
+	violate bool
+	reject  []bool // true for ASes on the attacker's own path (loop!)
+}
+
+// Propagate computes the stable routing outcome for ann with no attacker.
+// Topologies with sibling links need the message-level engine
+// (PropagateReference), which the core package dispatches to automatically.
+func Propagate(g *topology.Graph, ann Announcement) (*Result, error) {
+	if err := ann.Validate(g); err != nil {
+		return nil, err
+	}
+	if g.HasSiblings() {
+		return nil, ErrSiblingsNeedReference
+	}
+	st := newFastState(g, ann)
+	st.run()
+	return st.finish(), nil
+}
+
+// ErrSiblingsNeedReference reports that the three-phase engine cannot
+// route a sibling-bearing topology: sibling links are mutual transit and
+// break the provider-DAG phase structure.
+var ErrSiblingsNeedReference = errors.New("routing: sibling links require the Reference engine")
+
+// PropagateAttack computes the stable outcome with the ASPP interception
+// attacker active. baseline must be the no-attack Result for the same
+// announcement (computed with Propagate); it supplies the attacker's own
+// route, which the attack provably cannot change (every bogus route
+// contains the attacker's path and is loop-rejected along it).
+// Returns ErrUnreachableAttacker if the attacker never receives the route.
+func PropagateAttack(g *topology.Graph, ann Announcement, atk Attacker, baseline *Result) (*Result, error) {
+	if err := ann.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := atk.Validate(g, ann); err != nil {
+		return nil, err
+	}
+	if baseline == nil {
+		var err error
+		baseline, err = Propagate(g, ann)
+		if err != nil {
+			return nil, err
+		}
+	}
+	atkIdx, _ := g.Index(atk.AS)
+	if baseline.Class[atkIdx] == ClassNone {
+		return nil, ErrUnreachableAttacker
+	}
+
+	st := newFastState(g, ann)
+	st.atkIdx = atkIdx
+	st.keep = atk.keep()
+	st.violate = atk.ViolateValleyFree
+
+	// Loop rejection: every route that traverses the attacker carries the
+	// attacker's full (baseline) path as its suffix, so exactly the ASes on
+	// that path must reject it, as real BGP loop detection would.
+	st.reject = make([]bool, g.NumASes())
+	for j := baseline.Parent[atkIdx]; j != st.origin; j = baseline.Parent[j] {
+		st.reject[j] = true
+	}
+
+	if st.violate {
+		st.seedViolation(baseline)
+	}
+	st.run()
+	res := st.finish()
+	res.Via = make([]bool, g.NumASes())
+	for i := range res.Via {
+		if i32 := int32(i); i32 != st.origin && st.selected(i32).len >= 0 {
+			res.Via[i] = st.selected(i32).via
+		}
+	}
+	return res, nil
+}
+
+func newFastState(g *topology.Graph, ann Announcement) *fastState {
+	n := g.NumASes()
+	origin, _ := g.Index(ann.Origin)
+	st := &fastState{
+		g:      g,
+		origin: origin,
+		ann:    ann,
+		cust:   make([]cand, n),
+		peer:   make([]cand, n),
+		prov:   make([]cand, n),
+		atkIdx: -1,
+	}
+	for i := 0; i < n; i++ {
+		st.cust[i].len = -1
+		st.peer[i].len = -1
+		st.prov[i].len = -1
+	}
+	return st
+}
+
+// better reports whether a beats b under (length, lowest next-hop ASN).
+// Class comparison happens structurally (separate tables).
+func (st *fastState) better(a, b cand) bool {
+	if b.len < 0 {
+		return true
+	}
+	if a.len != b.len {
+		return a.len < b.len
+	}
+	return st.g.ASNAt(a.parent) < st.g.ASNAt(b.parent)
+}
+
+// consider offers candidate c to table slot of AS at.
+func (st *fastState) consider(table []cand, at int32, c cand) {
+	if at == st.origin {
+		return // the origin never adopts a route to itself
+	}
+	if c.via && (at == st.atkIdx || (st.reject != nil && st.reject[at])) {
+		return // AS-path loop: the route already contains this AS
+	}
+	if st.better(c, table[at]) {
+		table[at] = c
+	}
+}
+
+// export computes what AS u advertises given its route c: u prepends its
+// own ASN once; the attacker additionally strips origin prepends.
+func (st *fastState) export(u int32, c cand) cand {
+	out := cand{len: c.len + 1, prep: c.prep, via: c.via, parent: u}
+	if u == st.atkIdx {
+		if c.prep > st.keep {
+			out.len -= int32(c.prep - st.keep)
+			out.prep = st.keep
+		}
+		out.via = true
+	}
+	return out
+}
+
+// selected returns i's best route across classes:
+// customer > peer > provider, regardless of length.
+func (st *fastState) selected(i int32) cand {
+	if st.cust[i].len >= 0 {
+		return st.cust[i]
+	}
+	if st.peer[i].len >= 0 {
+		return st.peer[i]
+	}
+	return st.prov[i]
+}
+
+// seedViolation injects the attacker's export to its providers and peers,
+// which valley-free rules would forbid when its best route is peer- or
+// provider-learned. The attacker's own route equals its baseline route, so
+// the seed is known before relaxation starts.
+func (st *fastState) seedViolation(baseline *Result) {
+	a := st.atkIdx
+	base := cand{
+		len:    baseline.Len[a],
+		prep:   baseline.Prep[a],
+		parent: baseline.Parent[a],
+		via:    false,
+	}
+	exp := st.export(a, base)
+	for _, p := range st.g.ProvidersIdx(a) {
+		st.consider(st.cust, p, exp)
+	}
+	for _, w := range st.g.PeersIdx(a) {
+		st.consider(st.peer, w, exp)
+	}
+}
+
+// run executes the three phases.
+func (st *fastState) run() {
+	g, o := st.g, st.origin
+
+	// Phase 0: the origin announces to every neighbor with per-neighbor λ,
+	// skipping withheld (failed) sessions.
+	seed := func(table []cand, nbr int32) {
+		if st.ann.Withhold[g.ASNAt(nbr)] {
+			return
+		}
+		lam := int32(st.ann.lambdaFor(g.ASNAt(nbr)))
+		st.consider(table, nbr, cand{len: lam, prep: int16(lam), parent: o})
+	}
+	for _, p := range g.ProvidersIdx(o) {
+		seed(st.cust, p)
+	}
+	for _, w := range g.PeersIdx(o) {
+		seed(st.peer, w)
+	}
+	for _, c := range g.CustomersIdx(o) {
+		seed(st.prov, c)
+	}
+
+	// Phase 1 (up): customer-learned routes climb the provider DAG in
+	// topological order, so each AS's best customer route is final before
+	// any of its providers consume it. Correct even though the attacker's
+	// stripping makes lengths non-monotonic, because the order is a DAG
+	// order, not a shortest-first order.
+	for _, u := range g.UpTopoOrder() {
+		if u == o || st.cust[u].len < 0 {
+			continue
+		}
+		exp := st.export(u, st.cust[u])
+		for _, p := range g.ProvidersIdx(u) {
+			st.consider(st.cust, p, exp)
+		}
+	}
+
+	// Phase 2 (across): one peer hop. Only customer-learned routes are
+	// exported to peers.
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		if i == o || st.cust[i].len < 0 {
+			continue
+		}
+		exp := st.export(i, st.cust[i])
+		for _, w := range g.PeersIdx(i) {
+			st.consider(st.peer, w, exp)
+		}
+	}
+
+	// Phase 3 (down): every AS exports its overall best route to its
+	// customers; reverse topological order makes each provider's selection
+	// final before its customers consume it.
+	topo := g.UpTopoOrder()
+	for k := len(topo) - 1; k >= 0; k-- {
+		u := topo[k]
+		if u == o {
+			continue
+		}
+		sel := st.selected(u)
+		if sel.len < 0 {
+			continue
+		}
+		exp := st.export(u, sel)
+		for _, c := range g.CustomersIdx(u) {
+			st.consider(st.prov, c, exp)
+		}
+	}
+}
+
+// finish converts candidate tables into a Result.
+func (st *fastState) finish() *Result {
+	res := newResult(st.g, st.origin)
+	for i := int32(0); i < int32(st.g.NumASes()); i++ {
+		if i == st.origin {
+			continue
+		}
+		sel := st.selected(i)
+		if sel.len < 0 {
+			continue
+		}
+		switch {
+		case st.cust[i].len >= 0:
+			res.Class[i] = ClassCustomer
+		case st.peer[i].len >= 0:
+			res.Class[i] = ClassPeer
+		default:
+			res.Class[i] = ClassProvider
+		}
+		res.Len[i] = sel.len
+		res.Prep[i] = sel.prep
+		res.Parent[i] = sel.parent
+	}
+	return res
+}

@@ -1,0 +1,161 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// Seed is one AS's announcement of the watched prefix, with the AS-path
+// it claims. Honest origination claims [AS × λ]; the classic hijack
+// baselines the paper contrasts with (§II.B) claim forged paths:
+//
+//   - origin hijack (MOAS): the attacker claims [M] — it owns the prefix;
+//   - invalid-next-hop interception: the attacker claims [M V], keeping
+//     the true origin but fabricating an adjacency to it.
+type Seed struct {
+	// AS is the announcing autonomous system.
+	AS bgp.ASN
+	// Path is the AS-path the announcement carries, already including the
+	// announcer's own ASN at the front.
+	Path bgp.Path
+}
+
+// Validate checks the seed against a topology.
+func (s Seed) Validate(g *topology.Graph) error {
+	if !g.Has(s.AS) {
+		return fmt.Errorf("routing: seed AS %v not in topology", s.AS)
+	}
+	if len(s.Path) == 0 {
+		return errors.New("routing: empty seed path")
+	}
+	if first, _ := s.Path.First(); first != s.AS {
+		return fmt.Errorf("routing: seed path %v must start with the announcer %v", s.Path, s.AS)
+	}
+	return nil
+}
+
+// MultiResult is the stable outcome of propagating several (possibly
+// conflicting) announcements of one prefix: per AS, the chosen path and
+// its policy class. Unlike Result it stores explicit paths, because with
+// multiple origins parent chains are ambiguous.
+type MultiResult struct {
+	g *topology.Graph
+	// Paths[i] is AS i's best path (nil if none). Class[i] its class.
+	Paths []bgp.Path
+	Class []Class
+}
+
+// Graph returns the topology.
+func (m *MultiResult) Graph() *topology.Graph { return m.g }
+
+// PathOf returns asn's chosen path (nil if it has none or is a seeder).
+func (m *MultiResult) PathOf(asn bgp.ASN) bgp.Path {
+	i, ok := m.g.Index(asn)
+	if !ok {
+		return nil
+	}
+	return m.Paths[i]
+}
+
+// CountVia returns how many ASes' chosen paths include asn (excluding
+// asn itself).
+func (m *MultiResult) CountVia(asn bgp.ASN) int {
+	n := 0
+	for i, p := range m.Paths {
+		if m.g.ASNAt(int32(i)) == asn {
+			continue
+		}
+		if p.Contains(asn) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByOrigin tallies chosen paths by their origin AS — the MOAS view
+// a route collector would compute.
+func (m *MultiResult) CountByOrigin() map[bgp.ASN]int {
+	out := make(map[bgp.ASN]int)
+	for _, p := range m.Paths {
+		if o, ok := p.Origin(); ok {
+			out[o]++
+		}
+	}
+	return out
+}
+
+// PropagateSeeds runs the message-level engine with several announcements
+// of the same prefix competing under standard valley-free policy. Seeding
+// ASes never adopt a competing route for the prefix (an origin hijacker
+// believes — or pretends — the prefix is its own; an honest origin has no
+// use for another's route to itself).
+func PropagateSeeds(g *topology.Graph, seeds []Seed) (*MultiResult, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("routing: no seeds")
+	}
+	e := &refEngine{
+		g:      g,
+		nodes:  make([]refNode, g.NumASes()),
+		inQ:    make([]bool, g.NumASes()),
+		atkIdx: -1,
+		origin: -1,
+	}
+	for i := range e.nodes {
+		e.nodes[i].ribIn = make(map[int32]refRoute)
+		e.nodes[i].from = -1
+	}
+	e.noAdopt = make(map[int32]bool, len(seeds))
+	for _, s := range seeds {
+		if err := s.Validate(g); err != nil {
+			return nil, err
+		}
+		idx, _ := g.Index(s.AS)
+		e.noAdopt[idx] = true
+	}
+	for _, s := range seeds {
+		idx, _ := g.Index(s.AS)
+		body := s.Path // already includes the announcer
+		send := func(nbr int32, class Class) {
+			e.receive(nbr, idx, refRoute{path: body.Clone(), class: class})
+		}
+		for _, p := range g.ProvidersIdx(idx) {
+			send(p, ClassCustomer)
+		}
+		for _, w := range g.PeersIdx(idx) {
+			send(w, ClassPeer)
+		}
+		for _, c := range g.CustomersIdx(idx) {
+			send(c, ClassProvider)
+		}
+		for _, sib := range g.SiblingsIdx(idx) {
+			send(sib, ClassCustomer)
+		}
+	}
+
+	budget := 1000 * (g.NumASes() + 16)
+	for len(e.queue) > 0 {
+		if budget--; budget < 0 {
+			return nil, errOscillation
+		}
+		u := e.queue[0]
+		e.queue = e.queue[1:]
+		e.inQ[u] = false
+		e.exportFrom(u)
+	}
+
+	out := &MultiResult{
+		g:     g,
+		Paths: make([]bgp.Path, g.NumASes()),
+		Class: make([]Class, g.NumASes()),
+	}
+	for i := range e.nodes {
+		if e.nodes[i].best.path != nil {
+			out.Paths[i] = e.nodes[i].best.path
+			out.Class[i] = e.nodes[i].best.class
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// This file implements the Reference engine: a faithful message-level BGP
+// simulation. Every AS keeps an Adj-RIB-In entry per neighbor, re-runs the
+// decision process when an entry changes (including implicit withdrawals
+// when a neighbor's new advertisement replaces its old one), applies
+// AS-path loop rejection against full explicit paths, and exports per
+// valley-free rules (with the attacker's strip and optional violation).
+//
+// Under the Gao-Rexford preference conditions (customer > peer > provider,
+// acyclic provider hierarchy) this process converges to a unique stable
+// state regardless of message ordering, which makes it the ground truth
+// the Fast engine is property-tested against.
+
+// refRoute is an Adj-RIB-In entry.
+type refRoute struct {
+	path  bgp.Path
+	class Class
+	// suspect marks a route a cautious (PGBGP-style) deployer has
+	// quarantined: usable only when nothing else exists, depreferred
+	// below every normal route.
+	suspect bool
+}
+
+type refNode struct {
+	ribIn map[int32]refRoute // by neighbor index
+	best  refRoute
+	from  int32 // neighbor of best, -1 if none
+}
+
+type refEngine struct {
+	g      *topology.Graph
+	origin int32
+	ann    Announcement
+
+	hasAtk  bool
+	atkIdx  int32
+	keep    int
+	violate bool
+
+	// noAdopt marks ASes that never adopt a route for the prefix: the
+	// multi-seed propagation's announcers (see PropagateSeeds).
+	noAdopt map[int32]bool
+
+	// minPrep, when non-nil, holds per-AS historical origin-prepend
+	// counts for cautious (PGBGP-style) deployers: a deployer marks any
+	// route carrying fewer origin copies as suspect and quarantines it
+	// below all normal candidates. Zero entries mean "not a deployer".
+	minPrep []int16
+
+	nodes []refNode
+	queue []int32 // ASes whose selection changed and must re-export
+	inQ   []bool
+}
+
+// PropagateReference computes the stable outcome using the message-level
+// engine. atk may be nil for a plain propagation. Unlike PropagateAttack it
+// does not need a baseline: the attacker's behavior emerges from message
+// processing. An unreachable attacker degrades to a no-op (matching BGP).
+func PropagateReference(g *topology.Graph, ann Announcement, atk *Attacker) (*Result, error) {
+	return PropagateReferenceCautious(g, ann, atk, nil)
+}
+
+// PropagateReferenceCautious additionally models partial deployment of
+// PGBGP-style cautious adoption: minPrep maps each deploying AS to the
+// origin-prepend count it historically observed for the prefix; any route
+// carrying fewer copies is quarantined — used only when no normal route
+// exists. Pass nil to disable.
+func PropagateReferenceCautious(g *topology.Graph, ann Announcement, atk *Attacker, minPrep map[bgp.ASN]int) (*Result, error) {
+	if err := ann.Validate(g); err != nil {
+		return nil, err
+	}
+	e := &refEngine{
+		g:      g,
+		ann:    ann,
+		nodes:  make([]refNode, g.NumASes()),
+		inQ:    make([]bool, g.NumASes()),
+		atkIdx: -1,
+	}
+	origin, _ := g.Index(ann.Origin)
+	e.origin = origin
+	if atk != nil {
+		if err := atk.Validate(g, ann); err != nil {
+			return nil, err
+		}
+		e.hasAtk = true
+		e.atkIdx, _ = g.Index(atk.AS)
+		e.keep = int(atk.keep())
+		e.violate = atk.ViolateValleyFree
+	}
+	if len(minPrep) > 0 {
+		e.minPrep = make([]int16, g.NumASes())
+		for asn, v := range minPrep {
+			idx, ok := g.Index(asn)
+			if !ok {
+				return nil, fmt.Errorf("routing: cautious deployer %v not in topology", asn)
+			}
+			if v < 0 || v > 1<<14 {
+				return nil, fmt.Errorf("routing: bad historical prepend %d for %v", v, asn)
+			}
+			e.minPrep[idx] = int16(v)
+		}
+	}
+	for i := range e.nodes {
+		e.nodes[i].ribIn = make(map[int32]refRoute)
+		e.nodes[i].from = -1
+	}
+
+	// The origin announces to all neighbors (except withheld sessions).
+	originASN := g.ASNAt(origin)
+	announce := func(nbr int32, class Class) {
+		if ann.Withhold[g.ASNAt(nbr)] {
+			return
+		}
+		lam := ann.lambdaFor(g.ASNAt(nbr))
+		path := make(bgp.Path, lam)
+		for i := range path {
+			path[i] = originASN
+		}
+		e.receive(nbr, origin, refRoute{path: path, class: class})
+	}
+	for _, p := range g.ProvidersIdx(origin) {
+		announce(p, ClassCustomer)
+	}
+	for _, w := range g.PeersIdx(origin) {
+		announce(w, ClassPeer)
+	}
+	for _, c := range g.CustomersIdx(origin) {
+		announce(c, ClassProvider)
+	}
+	// A sibling shares the organization: it treats the origin's own
+	// prefix like a customer route and re-exports it everywhere.
+	for _, s := range g.SiblingsIdx(origin) {
+		announce(s, ClassCustomer)
+	}
+
+	// Gao-Rexford-compliant policies are guaranteed to converge; the
+	// violating attacker adds a fixed extra announcement, which preserves
+	// convergence. The budget is a defensive backstop against protocol
+	// bugs, far above any legitimate activation count.
+	budget := 1000 * (g.NumASes() + 16)
+	for len(e.queue) > 0 {
+		if budget--; budget < 0 {
+			return nil, errOscillation
+		}
+		u := e.queue[0]
+		e.queue = e.queue[1:]
+		e.inQ[u] = false
+		e.exportFrom(u)
+	}
+	return e.finish(), nil
+}
+
+// receive installs a new Adj-RIB-In entry at node i from neighbor nbr
+// (replacing any previous advertisement — an implicit withdrawal), re-runs
+// the decision process, and queues i for re-export if its selection
+// changed.
+func (e *refEngine) receive(i, nbr int32, r refRoute) {
+	if i == e.origin || e.noAdopt[i] {
+		return
+	}
+	if r.path.Contains(e.g.ASNAt(i)) {
+		// Loop rejection also removes any previous usable route from this
+		// neighbor: the neighbor has switched to a looping path, so its
+		// old advertisement is implicitly withdrawn.
+		delete(e.nodes[i].ribIn, nbr)
+	} else {
+		if e.minPrep != nil && e.minPrep[i] > 0 &&
+			int16(r.path.OriginPrepend()) < e.minPrep[i] {
+			r.suspect = true
+		}
+		e.nodes[i].ribIn[nbr] = r
+	}
+	e.decide(i)
+}
+
+// prefer reports whether route a (from neighbor na) beats b (from nb).
+func (e *refEngine) prefer(a refRoute, na int32, b refRoute, nb int32) bool {
+	if b.path == nil {
+		return true
+	}
+	if a.suspect != b.suspect {
+		return !a.suspect // quarantined routes lose to any normal route
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if len(a.path) != len(b.path) {
+		return len(a.path) < len(b.path)
+	}
+	return e.g.ASNAt(na) < e.g.ASNAt(nb)
+}
+
+// decide re-runs best-route selection at node i.
+func (e *refEngine) decide(i int32) {
+	n := &e.nodes[i]
+	var best refRoute
+	from := int32(-1)
+	for nbr, r := range n.ribIn {
+		if from == -1 || e.prefer(r, nbr, best, from) {
+			best, from = r, nbr
+		}
+	}
+	if from == n.from && best.path.Equal(n.best.path) &&
+		best.class == n.best.class && best.suspect == n.best.suspect {
+		return
+	}
+	n.best, n.from = best, from
+	if !e.inQ[i] {
+		e.inQ[i] = true
+		e.queue = append(e.queue, i)
+	}
+}
+
+// exportFrom advertises node u's current best route to every neighbor the
+// policy allows (and withdraws from neighbors it no longer may export to).
+func (e *refEngine) exportFrom(u int32) {
+	n := &e.nodes[u]
+	g := e.g
+
+	var exportPath bgp.Path
+	if n.best.path != nil {
+		exportPath = n.best.path
+		if e.hasAtk && u == e.atkIdx {
+			exportPath = exportPath.StripOriginPrepend(e.keep)
+		}
+		exportPath = exportPath.Prepend(g.ASNAt(u), 1)
+	}
+
+	// toCustomers is always allowed; up/across only for customer routes
+	// (or for the violating attacker).
+	upAllowed := n.best.path != nil &&
+		(n.best.class == ClassCustomer || (e.hasAtk && e.violate && u == e.atkIdx))
+
+	send := func(nbr int32, class Class, allowed bool) {
+		if allowed {
+			e.receive(nbr, u, refRoute{path: exportPath, class: class})
+			return
+		}
+		// Withdraw anything previously advertised on this session.
+		if _, had := e.nodes[nbr].ribIn[u]; had {
+			delete(e.nodes[nbr].ribIn, u)
+			e.decide(nbr)
+		}
+	}
+	for _, c := range g.CustomersIdx(u) {
+		send(c, ClassProvider, n.best.path != nil)
+	}
+	for _, w := range g.PeersIdx(u) {
+		send(w, ClassPeer, upAllowed)
+	}
+	for _, p := range g.ProvidersIdx(u) {
+		send(p, ClassCustomer, upAllowed)
+	}
+	// Siblings receive everything with the policy class preserved, as if
+	// the route had been learned by the organization as a whole.
+	for _, s := range g.SiblingsIdx(u) {
+		send(s, n.best.class, n.best.path != nil)
+	}
+}
+
+// finish converts engine state into a Result.
+func (e *refEngine) finish() *Result {
+	res := newResult(e.g, e.origin)
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		if i == int(e.origin) || n.best.path == nil {
+			continue
+		}
+		res.Class[i] = n.best.class
+		res.Len[i] = int32(len(n.best.path))
+		res.Prep[i] = int16(n.best.path.OriginPrepend())
+		res.Parent[i] = n.from
+	}
+	if e.hasAtk {
+		res.Via = make([]bool, e.g.NumASes())
+		atkASN := e.g.ASNAt(e.atkIdx)
+		for i := range e.nodes {
+			if int32(i) == e.origin || int32(i) == e.atkIdx {
+				continue
+			}
+			if e.nodes[i].best.path != nil && e.nodes[i].best.path.Contains(atkASN) {
+				res.Via[i] = true
+			}
+		}
+	}
+	return res
+}
+
+// errOscillation reports that message processing exceeded its budget,
+// which indicates a policy-model bug (GR-compliant policies converge).
+var errOscillation = errors.New("routing: reference engine did not converge")

@@ -1,0 +1,199 @@
+package routing
+
+import (
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// Result is the stable routing outcome for one announcement: per AS, the
+// class, length, origin-prepend count and next hop of its best route.
+// Slices are indexed by the graph's dense AS index.
+type Result struct {
+	g      *topology.Graph
+	origin int32
+
+	// Class[i] is the policy class of i's best route (ClassNone if i has
+	// no route or i is the origin).
+	Class []Class
+	// Len[i] is the received AS-path length, counting prepends. The
+	// origin's own entry is 0.
+	Len []int32
+	// Prep[i] is the number of origin copies visible in i's path.
+	Prep []int16
+	// Parent[i] is the graph index of the neighbor i learned its route
+	// from (-1 for the origin and unreachable ASes).
+	Parent []int32
+	// Via[i] reports whether i's route traverses the attacker. Computed
+	// during attack propagation; for plain propagation use ViaSet.
+	Via []bool
+}
+
+func newResult(g *topology.Graph, origin int32) *Result {
+	n := g.NumASes()
+	r := &Result{
+		g:      g,
+		origin: origin,
+		Class:  make([]Class, n),
+		Len:    make([]int32, n),
+		Prep:   make([]int16, n),
+		Parent: make([]int32, n),
+	}
+	for i := range r.Parent {
+		r.Parent[i] = -1
+		r.Len[i] = -1
+	}
+	r.Len[origin] = 0
+	return r
+}
+
+// Graph returns the topology the result was computed on.
+func (r *Result) Graph() *topology.Graph { return r.g }
+
+// Origin returns the originating AS.
+func (r *Result) Origin() bgp.ASN { return r.g.ASNAt(r.origin) }
+
+// OriginIdx returns the origin's dense index.
+func (r *Result) OriginIdx() int32 { return r.origin }
+
+// Reachable reports whether asn has a route to the origin (the origin
+// itself counts as reachable).
+func (r *Result) Reachable(asn bgp.ASN) bool {
+	i, ok := r.g.Index(asn)
+	if !ok {
+		return false
+	}
+	return r.ReachableIdx(i)
+}
+
+// ReachableIdx is Reachable by dense index.
+func (r *Result) ReachableIdx(i int32) bool {
+	return i == r.origin || r.Class[i] != ClassNone
+}
+
+// PathOf reconstructs the full AS-path (with prepends) in asn's RIB, i.e.
+// the path as received: it starts at the next hop and ends with the origin
+// repeated Prep times. Returns nil for the origin and unreachable ASes.
+func (r *Result) PathOf(asn bgp.ASN) bgp.Path {
+	i, ok := r.g.Index(asn)
+	if !ok {
+		return nil
+	}
+	return r.PathOfIdx(i)
+}
+
+// PathOfIdx is PathOf by dense index.
+func (r *Result) PathOfIdx(i int32) bgp.Path {
+	if i == r.origin || r.Class[i] == ClassNone {
+		return nil
+	}
+	path := make(bgp.Path, 0, int(r.Len[i]))
+	for j := r.Parent[i]; j != r.origin; j = r.Parent[j] {
+		path = append(path, r.g.ASNAt(j))
+	}
+	originASN := r.g.ASNAt(r.origin)
+	for k := int16(0); k < r.Prep[i]; k++ {
+		path = append(path, originASN)
+	}
+	return path
+}
+
+// HopsToOrigin returns the number of distinct-AS hops from asn to the
+// origin (its path's unique length), or -1 if unreachable.
+func (r *Result) HopsToOrigin(asn bgp.ASN) int {
+	i, ok := r.g.Index(asn)
+	if !ok || r.Class[i] == ClassNone {
+		if ok && i == r.origin {
+			return 0
+		}
+		return -1
+	}
+	hops := 1 // origin run counts once
+	for j := r.Parent[i]; j != r.origin; j = r.Parent[j] {
+		hops++
+	}
+	return hops
+}
+
+// ViaSet computes, for every AS, whether its best path traverses through,
+// meaning strictly includes, the given AS (the AS itself is not "via"
+// itself; the origin is never via anything). This is the pollution set of
+// the paper: every marked AS sends its traffic for the origin through asn.
+func (r *Result) ViaSet(asn bgp.ASN) []bool {
+	target, ok := r.g.Index(asn)
+	if !ok {
+		return make([]bool, r.g.NumASes())
+	}
+	n := r.g.NumASes()
+	const (
+		unknown = 0
+		yes     = 1
+		no      = 2
+	)
+	state := make([]uint8, n)
+	state[r.origin] = no
+	via := make([]bool, n)
+	stack := make([]int32, 0, 32)
+	for i := int32(0); i < int32(n); i++ {
+		if state[i] != unknown {
+			via[i] = state[i] == yes
+			continue
+		}
+		if r.Class[i] == ClassNone {
+			state[i] = no
+			continue
+		}
+		// Walk up the parent chain until a decided node, then unwind.
+		stack = stack[:0]
+		j := i
+		for state[j] == unknown {
+			stack = append(stack, j)
+			j = r.Parent[j]
+		}
+		verdict := state[j]
+		for k := len(stack) - 1; k >= 0; k-- {
+			node := stack[k]
+			if r.Parent[node] == target {
+				verdict = yes
+			}
+			state[node] = verdict
+			via[node] = verdict == yes
+		}
+	}
+	via[target] = false
+	return via
+}
+
+// CountVia returns how many ASes route via asn (see ViaSet).
+func (r *Result) CountVia(asn bgp.ASN) int {
+	n := 0
+	for _, v := range r.ViaSet(asn) {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// PollutedCount returns the number of ASes whose best route traverses the
+// attacker, using the Via slice filled in by attack propagation.
+func (r *Result) PollutedCount() int {
+	n := 0
+	for _, v := range r.Via {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// ReachableCount returns the number of ASes with a route, excluding the
+// origin itself.
+func (r *Result) ReachableCount() int {
+	n := 0
+	for i := range r.Class {
+		if r.Class[i] != ClassNone {
+			n++
+		}
+	}
+	return n
+}

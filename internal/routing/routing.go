@@ -1,0 +1,158 @@
+// Package routing implements BGP route propagation over an AS topology
+// under the valley-free, profit-driven policy model the paper simulates:
+// every AS prefers customer-learned routes over peer-learned over
+// provider-learned, breaks ties by shortest AS-path (counting prepends),
+// and exports peer/provider-learned routes only to its customers.
+//
+// Two engines compute the same unique stable outcome:
+//
+//   - Fast: a three-phase algorithm over the provider-customer DAG
+//     (customer routes in topological order, one peer hop, provider routes
+//     in reverse topological order), extended with exact handling of the
+//     paper's ASPP interception attacker — prepend stripping at the
+//     attacker and, optionally, valley-free-violating export — via loop
+//     rejection on the attacker's own path.
+//   - Reference: a message-level BGP simulation with per-neighbor Adj-RIB-In
+//     state, implicit withdrawals and full AS-path loop detection. It is
+//     the ground truth the Fast engine is property-tested against.
+//
+// Both engines use the identical total preference order
+// (class, path length, lowest next-hop ASN), so results are deterministic
+// and directly comparable.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// Class is the policy class of the neighbor a route was learned from.
+type Class uint8
+
+const (
+	// ClassNone marks an AS with no route (or the origin itself).
+	ClassNone Class = iota
+	// ClassCustomer: learned from a customer — most preferred (revenue).
+	ClassCustomer
+	// ClassPeer: learned from a settlement-free peer.
+	ClassPeer
+	// ClassProvider: learned from a provider — least preferred (cost).
+	ClassProvider
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// Announcement describes the victim/origin's advertisement of one prefix.
+type Announcement struct {
+	// Origin is the AS originating the prefix.
+	Origin bgp.ASN
+	// Prepend λ is how many copies of its own ASN the origin sends to
+	// every neighbor (1 = no artificial prepending). Minimum 1.
+	Prepend int
+	// PerNeighbor optionally overrides λ for specific neighbors, modeling
+	// the traffic-engineering practice of padding backup upstreams more
+	// than primaries. Values must be >= 1.
+	PerNeighbor map[bgp.ASN]int
+	// Withhold lists neighbors the origin does not announce to at all —
+	// a failed session or a selective announcement. The churn simulation
+	// uses it to fail an origin's primary upstream link.
+	Withhold map[bgp.ASN]bool
+}
+
+// lambdaFor returns λ toward a given neighbor.
+func (a Announcement) lambdaFor(n bgp.ASN) int {
+	if v, ok := a.PerNeighbor[n]; ok {
+		return v
+	}
+	return a.Prepend
+}
+
+// MaxLambda returns the largest λ the origin uses toward any neighbor.
+func (a Announcement) MaxLambda() int {
+	m := a.Prepend
+	for _, v := range a.PerNeighbor {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Validate checks the announcement against a topology.
+func (a Announcement) Validate(g *topology.Graph) error {
+	if !g.Has(a.Origin) {
+		return fmt.Errorf("routing: origin %v not in topology", a.Origin)
+	}
+	if a.Prepend < 1 {
+		return fmt.Errorf("routing: prepend %d < 1", a.Prepend)
+	}
+	for n, v := range a.PerNeighbor {
+		if v < 1 {
+			return fmt.Errorf("routing: per-neighbor prepend %d < 1 for %v", v, n)
+		}
+		if g.RelOf(a.Origin, n) == topology.RelNone {
+			return fmt.Errorf("routing: per-neighbor prepend for non-neighbor %v", n)
+		}
+	}
+	for n, w := range a.Withhold {
+		if w && g.RelOf(a.Origin, n) == topology.RelNone {
+			return fmt.Errorf("routing: withhold for non-neighbor %v", n)
+		}
+	}
+	return nil
+}
+
+// Attacker configures the ASPP interception attacker: an AS that, when
+// re-exporting its route toward the origin, removes prepended origin
+// copies down to KeepPrepend (the paper's [M * V...V] -> [M * V] rewrite).
+type Attacker struct {
+	// AS is the attacking autonomous system.
+	AS bgp.ASN
+	// KeepPrepend is how many origin copies survive stripping (>= 1).
+	// The paper's attacker keeps exactly one.
+	KeepPrepend int
+	// ViolateValleyFree, when true, makes the attacker export its best
+	// route to all neighbors regardless of the route's class — the
+	// paper's Figs. 11-12 "violate routing policy" attacker.
+	ViolateValleyFree bool
+}
+
+// Validate checks the attacker against a topology and announcement.
+func (atk Attacker) Validate(g *topology.Graph, ann Announcement) error {
+	if !g.Has(atk.AS) {
+		return fmt.Errorf("routing: attacker %v not in topology", atk.AS)
+	}
+	if atk.AS == ann.Origin {
+		return errors.New("routing: attacker cannot be the origin")
+	}
+	if atk.KeepPrepend < 0 {
+		return errors.New("routing: negative KeepPrepend")
+	}
+	return nil
+}
+
+func (atk Attacker) keep() int16 {
+	if atk.KeepPrepend < 1 {
+		return 1
+	}
+	return int16(atk.KeepPrepend)
+}
+
+// errUnreachableAttacker is returned by PropagateAttack when the attacker
+// has no route to the origin and therefore nothing to strip.
+var ErrUnreachableAttacker = errors.New("routing: attacker has no route to origin")

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatalf("NewCDF: %v", err)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4", c.N())
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0.5, want: 0},
+		{x: 1, want: 0.25},
+		{x: 2, want: 0.75},
+		{x: 2.5, want: 0.75},
+		{x: 3, want: 1},
+		{x: 99, want: 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if c.Min() != 1 || c.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v, want 1/3", c.Min(), c.Max())
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c, _ := NewCDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	tests := []struct {
+		q, want float64
+	}{
+		{q: 0, want: 10},
+		{q: 0.1, want: 10},
+		{q: 0.5, want: 50},
+		{q: 0.9, want: 90},
+		{q: 1, want: 100},
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("NewCDF(nil) succeeded")
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c, _ := NewCDF(in)
+	in[0] = -100
+	if c.Min() != 1 {
+		t.Error("CDF aliased its input slice")
+	}
+}
+
+func TestCDFPointsMonotonicQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64()
+		}
+		c, err := NewCDF(samples)
+		if err != nil {
+			return false
+		}
+		pts := c.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Y == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2)
+	h.Add(2)
+	h.AddN(3, 3)
+	h.Add(10)
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(2) != 2 || h.Count(3) != 3 || h.Count(10) != 1 || h.Count(5) != 0 {
+		t.Error("Count wrong")
+	}
+	if got := h.Fraction(3); got != 0.5 {
+		t.Errorf("Fraction(3) = %v, want 0.5", got)
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 2 || vals[1] != 3 || vals[2] != 10 {
+		t.Errorf("Values = %v, want [2 3 10]", vals)
+	}
+
+	h2 := NewHistogram()
+	h2.Add(2)
+	h.Merge(h2)
+	if h.Count(2) != 3 || h.Total() != 7 {
+		t.Error("Merge wrong")
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	if got := NewHistogram().Fraction(1); got != 0 {
+		t.Errorf("empty Fraction = %v, want 0", got)
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	in := []float64{0.1, 0.9, 0.4}
+	got := RankDescending(in)
+	if got[0] != 0.9 || got[1] != 0.4 || got[2] != 0.1 {
+		t.Errorf("RankDescending = %v", got)
+	}
+	if in[0] != 0.1 {
+		t.Error("RankDescending mutated input")
+	}
+}
+
+func TestFormatTSV(t *testing.T) {
+	out := FormatTSV([]string{"a", "b"}, [][]float64{{1, 2.5}, {3, 0.125}})
+	want := "a\tb\n1\t2.5\n3\t0.125\n"
+	if out != want {
+		t.Errorf("FormatTSV = %q, want %q", out, want)
+	}
+	if !strings.HasPrefix(out, "a\tb\n") {
+		t.Error("header missing")
+	}
+}

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aspp/internal/bgp"
+)
+
+// Builder accumulates ASes and links and assembles an immutable Graph.
+// It rejects self-links, duplicate links, conflicting relationships, and —
+// at Build time — provider-customer cycles, which would break both the real
+// Internet's economics and the routing engines' DAG phases.
+type Builder struct {
+	asns  []bgp.ASN
+	index map[bgp.ASN]int32
+	links map[[2]bgp.ASN]Relationship // key sorted ascending
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		index: make(map[bgp.ASN]int32),
+		links: make(map[[2]bgp.ASN]Relationship),
+	}
+}
+
+// AddAS registers an AS. Adding the same AS twice is a no-op.
+func (b *Builder) AddAS(asn bgp.ASN) error {
+	if asn == 0 {
+		return errors.New("topology: ASN 0 is reserved")
+	}
+	if _, ok := b.index[asn]; ok {
+		return nil
+	}
+	b.index[asn] = int32(len(b.asns))
+	b.asns = append(b.asns, asn)
+	return nil
+}
+
+// key returns the canonical (sorted) map key for a link, plus whether the
+// pair was swapped to canonicalize it.
+func linkKey(a, c bgp.ASN) ([2]bgp.ASN, bool) {
+	if a <= c {
+		return [2]bgp.ASN{a, c}, false
+	}
+	return [2]bgp.ASN{c, a}, true
+}
+
+// relDir encodes a directed p2c relationship in the canonical key frame.
+// We store ProviderToCustomer when key[0] is the provider, and the private
+// sentinel below when key[1] is the provider.
+const relC2P Relationship = 200
+
+// AddP2C adds a provider-to-customer link. Both ASes are auto-registered.
+func (b *Builder) AddP2C(provider, customer bgp.ASN) error {
+	if provider == customer {
+		return fmt.Errorf("topology: self link %v", provider)
+	}
+	if err := b.AddAS(provider); err != nil {
+		return err
+	}
+	if err := b.AddAS(customer); err != nil {
+		return err
+	}
+	key, swapped := linkKey(provider, customer)
+	want := ProviderToCustomer
+	if swapped {
+		want = relC2P
+	}
+	if have, ok := b.links[key]; ok {
+		if have == want {
+			return nil
+		}
+		return fmt.Errorf("topology: conflicting relationship for %v-%v", provider, customer)
+	}
+	b.links[key] = want
+	return nil
+}
+
+// AddP2P adds a settlement-free peering link. Both ASes are auto-registered.
+func (b *Builder) AddP2P(x, y bgp.ASN) error {
+	return b.addSymmetric(x, y, PeerToPeer)
+}
+
+// AddS2S adds a sibling (same-organization, mutual-transit) link. Both
+// ASes are auto-registered. Sibling-bearing topologies are routed by the
+// message-level Reference engine.
+func (b *Builder) AddS2S(x, y bgp.ASN) error {
+	return b.addSymmetric(x, y, SiblingToSibling)
+}
+
+func (b *Builder) addSymmetric(x, y bgp.ASN, rel Relationship) error {
+	if x == y {
+		return fmt.Errorf("topology: self link %v", x)
+	}
+	if err := b.AddAS(x); err != nil {
+		return err
+	}
+	if err := b.AddAS(y); err != nil {
+		return err
+	}
+	key, _ := linkKey(x, y)
+	if have, ok := b.links[key]; ok {
+		if have == rel {
+			return nil
+		}
+		return fmt.Errorf("topology: conflicting relationship for %v-%v", x, y)
+	}
+	b.links[key] = rel
+	return nil
+}
+
+// HasLink reports whether any relationship already exists between a and c.
+func (b *Builder) HasLink(a, c bgp.ASN) bool {
+	key, _ := linkKey(a, c)
+	_, ok := b.links[key]
+	return ok
+}
+
+// NumASes returns the number of ASes registered so far.
+func (b *Builder) NumASes() int { return len(b.asns) }
+
+// Rebuild returns a Builder pre-loaded with an existing graph's ASes and
+// links, so callers can extend a (generated) topology with extra actors —
+// e.g. grafting a sibling pair onto an Internet for the Fig. 11 scenario.
+func Rebuild(g *Graph) *Builder {
+	b := NewBuilder()
+	for _, a := range g.asns {
+		// Registration order preserves dense indices for the common ASes.
+		if err := b.AddAS(a); err != nil {
+			panic("topology: rebuild: " + err.Error()) // ASNs come from a valid graph
+		}
+	}
+	for _, l := range g.Links() {
+		var err error
+		switch l.Rel {
+		case ProviderToCustomer:
+			err = b.AddP2C(l.A, l.B)
+		case PeerToPeer:
+			err = b.AddP2P(l.A, l.B)
+		case SiblingToSibling:
+			err = b.AddS2S(l.A, l.B)
+		}
+		if err != nil {
+			panic("topology: rebuild: " + err.Error())
+		}
+	}
+	return b
+}
+
+// Build validates and freezes the topology.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.asns) == 0 {
+		return nil, errors.New("topology: no ASes")
+	}
+	g := &Graph{
+		asns:      make([]bgp.ASN, len(b.asns)),
+		index:     make(map[bgp.ASN]int32, len(b.asns)),
+		providers: make([][]int32, len(b.asns)),
+		customers: make([][]int32, len(b.asns)),
+		peers:     make([][]int32, len(b.asns)),
+		siblings:  make([][]int32, len(b.asns)),
+	}
+	copy(g.asns, b.asns)
+	for a, i := range b.index {
+		g.index[a] = i
+	}
+	// Deterministic link insertion order.
+	keys := make([][2]bgp.ASN, 0, len(b.links))
+	for k := range b.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		i0, i1 := g.index[k[0]], g.index[k[1]]
+		switch b.links[k] {
+		case ProviderToCustomer: // k[0] provider of k[1]
+			g.customers[i0] = append(g.customers[i0], i1)
+			g.providers[i1] = append(g.providers[i1], i0)
+		case relC2P: // k[1] provider of k[0]
+			g.customers[i1] = append(g.customers[i1], i0)
+			g.providers[i0] = append(g.providers[i0], i1)
+		case PeerToPeer:
+			g.peers[i0] = append(g.peers[i0], i1)
+			g.peers[i1] = append(g.peers[i1], i0)
+		case SiblingToSibling:
+			g.siblings[i0] = append(g.siblings[i0], i1)
+			g.siblings[i1] = append(g.siblings[i1], i0)
+			g.nSiblings += 2
+		}
+	}
+	if err := g.computeUpTopo(); err != nil {
+		return nil, err
+	}
+	g.computeTiers()
+	return g, nil
+}
+
+// computeUpTopo computes a topological order of the customer->provider DAG
+// (Kahn's algorithm), failing if the provider hierarchy has a cycle.
+func (g *Graph) computeUpTopo() error {
+	n := len(g.asns)
+	indeg := make([]int32, n) // number of customers not yet emitted
+	for i := 0; i < n; i++ {
+		indeg[i] = int32(len(g.customers[i]))
+	}
+	// Deterministic queue: process ready nodes in index order using a
+	// sorted frontier.
+	frontier := make([]int32, 0, n)
+	for i := int32(0); i < int32(n); i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]int32, 0, n)
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, p := range g.providers[u] {
+			indeg[p]--
+			if indeg[p] == 0 {
+				frontier = append(frontier, p)
+			}
+		}
+	}
+	if len(order) != n {
+		return errors.New("topology: provider-customer cycle detected")
+	}
+	g.upTopo = order
+	return nil
+}
+
+// computeTiers assigns tier 1 to provider-free ASes and 1+min(provider tier)
+// to everyone else; upTopo order guarantees providers are labeled after all
+// their customers, so we walk the order backwards (providers first).
+func (g *Graph) computeTiers() {
+	n := len(g.asns)
+	g.tier = make([]uint8, n)
+	for k := n - 1; k >= 0; k-- {
+		i := g.upTopo[k]
+		if len(g.providers[i]) == 0 {
+			g.tier[i] = 1
+			continue
+		}
+		best := uint8(255)
+		for _, p := range g.providers[i] {
+			if g.tier[p] < best {
+				best = g.tier[p]
+			}
+		}
+		if best == 255 || best == 0 {
+			// Defensive: providers are always labeled first in this order.
+			best = 254
+		}
+		g.tier[i] = best + 1
+	}
+}

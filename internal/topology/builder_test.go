@@ -1,0 +1,328 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"aspp/internal/bgp"
+)
+
+// smallGraph builds the example topology used across this package's tests:
+//
+//	    10 ---- 20        (tier-1 peers)
+//	   /  \    /  \
+//	 30    40      50     (tier-2; 40 multihomed to 10 and 20)
+//	 |      \     / |
+//	100      200    \     (stubs)
+//	          |     300
+//	         peer(100,200)
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("build small graph: %v", err)
+		}
+	}
+	must(b.AddP2P(10, 20))
+	must(b.AddP2C(10, 30))
+	must(b.AddP2C(10, 40))
+	must(b.AddP2C(20, 40))
+	must(b.AddP2C(20, 50))
+	must(b.AddP2C(30, 100))
+	must(b.AddP2C(40, 200))
+	must(b.AddP2C(50, 300))
+	must(b.AddP2P(100, 200))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := smallGraph(t)
+	if got := g.NumASes(); got != 8 {
+		t.Errorf("NumASes = %d, want 8", got)
+	}
+	if got := g.NumLinks(); got != 9 {
+		t.Errorf("NumLinks = %d, want 9", got)
+	}
+	if got := g.Providers(40); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Providers(40) = %v, want [10 20]", got)
+	}
+	if got := g.Customers(10); len(got) != 2 || got[0] != 30 || got[1] != 40 {
+		t.Errorf("Customers(10) = %v, want [30 40]", got)
+	}
+	if got := g.Peers(100); len(got) != 1 || got[0] != 200 {
+		t.Errorf("Peers(100) = %v, want [200]", got)
+	}
+	if got := g.Degree(40); got != 3 {
+		t.Errorf("Degree(40) = %d, want 3", got)
+	}
+	if g.Degree(999) != 0 {
+		t.Error("Degree(unknown) != 0")
+	}
+}
+
+func TestRelOf(t *testing.T) {
+	g := smallGraph(t)
+	tests := []struct {
+		a, b bgp.ASN
+		want RelTo
+	}{
+		{a: 40, b: 10, want: RelProvider},
+		{a: 10, b: 40, want: RelCustomer},
+		{a: 10, b: 20, want: RelPeer},
+		{a: 100, b: 200, want: RelPeer},
+		{a: 30, b: 50, want: RelNone},
+		{a: 30, b: 999, want: RelNone},
+		{a: 999, b: 30, want: RelNone},
+	}
+	for _, tt := range tests {
+		if got := g.RelOf(tt.a, tt.b); got != tt.want {
+			t.Errorf("RelOf(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTiers(t *testing.T) {
+	g := smallGraph(t)
+	wants := map[bgp.ASN]int{10: 1, 20: 1, 30: 2, 40: 2, 50: 2, 100: 3, 200: 3, 300: 3}
+	for asn, want := range wants {
+		if got := g.Tier(asn); got != want {
+			t.Errorf("Tier(%v) = %d, want %d", asn, got, want)
+		}
+	}
+	t1 := g.Tier1s()
+	if len(t1) != 2 || t1[0] != 10 || t1[1] != 20 {
+		t.Errorf("Tier1s = %v, want [10 20]", t1)
+	}
+	if !g.IsStub(100) || g.IsStub(40) {
+		t.Error("IsStub misclassified")
+	}
+}
+
+func TestUpTopoOrder(t *testing.T) {
+	g := smallGraph(t)
+	pos := make(map[int32]int)
+	for k, i := range g.UpTopoOrder() {
+		pos[i] = k
+	}
+	if len(pos) != g.NumASes() {
+		t.Fatalf("UpTopoOrder covers %d ASes, want %d", len(pos), g.NumASes())
+	}
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		for _, p := range g.ProvidersIdx(i) {
+			if pos[i] >= pos[p] {
+				t.Errorf("customer %v not before provider %v in UpTopoOrder",
+					g.ASNAt(i), g.ASNAt(p))
+			}
+		}
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddP2C(1, 1); err == nil {
+		t.Error("self p2c accepted")
+	}
+	if err := b.AddP2P(2, 2); err == nil {
+		t.Error("self p2p accepted")
+	}
+	if err := b.AddAS(0); err == nil {
+		t.Error("ASN 0 accepted")
+	}
+	if err := b.AddP2C(1, 2); err != nil {
+		t.Fatalf("AddP2C: %v", err)
+	}
+	if err := b.AddP2C(1, 2); err != nil {
+		t.Errorf("duplicate identical p2c rejected: %v", err)
+	}
+	if err := b.AddP2C(2, 1); err == nil {
+		t.Error("reversed p2c accepted despite conflict")
+	}
+	if err := b.AddP2P(1, 2); err == nil {
+		t.Error("p2p over existing p2c accepted")
+	}
+}
+
+func TestBuildRejectsProviderCycle(t *testing.T) {
+	b := NewBuilder()
+	for _, e := range [][2]bgp.ASN{{1, 2}, {2, 3}, {3, 1}} {
+		if err := b.AddP2C(e[0], e[1]); err != nil {
+			t.Fatalf("AddP2C: %v", err)
+		}
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a provider cycle")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("Build accepted empty topology")
+	}
+}
+
+func TestTopByDegree(t *testing.T) {
+	g := smallGraph(t)
+	top := g.TopByDegree(3)
+	if len(top) != 3 {
+		t.Fatalf("TopByDegree(3) returned %d", len(top))
+	}
+	// 10, 20, 40 all have degree 3; ties break by lower ASN.
+	if top[0] != 10 || top[1] != 20 || top[2] != 40 {
+		t.Errorf("TopByDegree(3) = %v, want [10 20 40]", top)
+	}
+	if got := g.TopByDegree(100); len(got) != g.NumASes() {
+		t.Errorf("TopByDegree(100) returned %d, want all %d", len(got), g.NumASes())
+	}
+}
+
+func TestSerial2RoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	var sb strings.Builder
+	if err := WriteSerial2(&sb, g); err != nil {
+		t.Fatalf("WriteSerial2: %v", err)
+	}
+	g2, err := ReadSerial2(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadSerial2: %v", err)
+	}
+	if g2.NumASes() != g.NumASes() || g2.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumASes(), g2.NumLinks(), g.NumASes(), g.NumLinks())
+	}
+	l1, l2 := g.Links(), g2.Links()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Errorf("link %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+}
+
+func TestReadSerial2Errors(t *testing.T) {
+	cases := []string{
+		"1|2",            // missing field
+		"x|2|-1",         // bad ASN
+		"1|2|7",          // bad code
+		"1|2|-1\n2|1|-1", // conflicting direction
+	}
+	for _, in := range cases {
+		if _, err := ReadSerial2(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSerial2(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCustomerConeSize(t *testing.T) {
+	g := smallGraph(t)
+	tests := []struct {
+		asn  bgp.ASN
+		want int
+	}{
+		{asn: 10, want: 4}, // 30, 40, 100, 200
+		{asn: 20, want: 4}, // 40, 50, 200, 300
+		{asn: 30, want: 1},
+		{asn: 100, want: 0},
+		{asn: 999, want: 0}, // unknown
+	}
+	for _, tt := range tests {
+		if got := g.CustomerConeSize(tt.asn); got != tt.want {
+			t.Errorf("CustomerConeSize(%v) = %d, want %d", tt.asn, got, tt.want)
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := smallGraph(t)
+	r := g.Connectivity()
+	if r.Tier1 != 2 || r.Islands != 0 {
+		t.Errorf("Tier1/Islands = %d/%d, want 2/0", r.Tier1, r.Islands)
+	}
+	if r.CoreReachable != g.NumASes() {
+		t.Errorf("CoreReachable = %d, want all %d", r.CoreReachable, g.NumASes())
+	}
+	if r.MaxTier != 3 {
+		t.Errorf("MaxTier = %d, want 3", r.MaxTier)
+	}
+
+	// An isolated AS is an island, not a tier-1.
+	b := NewBuilder()
+	if err := b.AddP2C(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddAS(99); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := g2.Connectivity()
+	if r2.Islands != 1 {
+		t.Errorf("Islands = %d, want 1", r2.Islands)
+	}
+	if r2.CoreReachable != 2 {
+		t.Errorf("CoreReachable = %d, want 2", r2.CoreReachable)
+	}
+}
+
+func TestRebuildPreservesGraph(t *testing.T) {
+	g := smallGraph(t)
+	b := Rebuild(g)
+	if b.NumASes() != g.NumASes() {
+		t.Errorf("NumASes = %d, want %d", b.NumASes(), g.NumASes())
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	l1, l2 := g.Links(), g2.Links()
+	if len(l1) != len(l2) {
+		t.Fatalf("link counts differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Errorf("link %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	// Dense indices of common ASes are preserved.
+	for _, asn := range g.ASNs() {
+		i1, _ := g.Index(asn)
+		i2, _ := g2.Index(asn)
+		if i1 != i2 {
+			t.Errorf("index of %v changed: %d -> %d", asn, i1, i2)
+		}
+	}
+}
+
+func TestGraphStringersAndPredicates(t *testing.T) {
+	g := smallGraph(t)
+	if ProviderToCustomer.String() != "p2c" || PeerToPeer.String() != "p2p" ||
+		SiblingToSibling.String() != "s2s" {
+		t.Error("Relationship names wrong")
+	}
+	for rel, want := range map[RelTo]string{
+		RelNone: "none", RelProvider: "provider", RelCustomer: "customer",
+		RelPeer: "peer", RelSibling: "sibling",
+	} {
+		if rel.String() != want {
+			t.Errorf("RelTo(%d) = %q, want %q", rel, rel.String(), want)
+		}
+	}
+	if !g.Has(10) || g.Has(9999) {
+		t.Error("Has wrong")
+	}
+	if !g.IsTier1(10) || g.IsTier1(100) {
+		t.Error("IsTier1 wrong")
+	}
+	if len(g.Siblings(10)) != 0 {
+		t.Error("Siblings on sibling-free graph")
+	}
+	if g.HasSiblings() {
+		t.Error("HasSiblings on sibling-free graph")
+	}
+}

@@ -1,0 +1,426 @@
+// Package topology models the AS-level Internet: autonomous systems joined
+// by provider-customer and peer-peer business relationships, with tier
+// classification and the traversal orders the routing engines need.
+//
+// Graphs are immutable once built (see Builder), which makes them safe to
+// share across the concurrent experiment drivers without locking.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"aspp/internal/bgp"
+)
+
+// Relationship classifies the business relationship on a link.
+type Relationship uint8
+
+const (
+	// ProviderToCustomer means the first AS sells transit to the second.
+	ProviderToCustomer Relationship = iota + 1
+	// PeerToPeer means the ASes exchange traffic settlement-free.
+	PeerToPeer
+	// SiblingToSibling means the ASes belong to one organization and
+	// provide mutual transit: routes cross the link in both directions
+	// with their original policy class preserved. The paper's Fig. 11
+	// anomaly (NTT–Limelight) hinges on such a link.
+	SiblingToSibling
+)
+
+// String returns "p2c", "p2p" or "s2s".
+func (r Relationship) String() string {
+	switch r {
+	case ProviderToCustomer:
+		return "p2c"
+	case PeerToPeer:
+		return "p2p"
+	case SiblingToSibling:
+		return "s2s"
+	default:
+		return fmt.Sprintf("Relationship(%d)", uint8(r))
+	}
+}
+
+// RelTo describes how a neighbor relates to a given AS, from that AS's
+// point of view.
+type RelTo uint8
+
+const (
+	// RelNone means the two ASes are not adjacent.
+	RelNone RelTo = iota
+	// RelProvider: the neighbor is my provider.
+	RelProvider
+	// RelCustomer: the neighbor is my customer.
+	RelCustomer
+	// RelPeer: the neighbor is my settlement-free peer.
+	RelPeer
+	// RelSibling: the neighbor is my sibling (same organization).
+	RelSibling
+)
+
+// String names the relationship ("provider", "customer", "peer", "none").
+func (r RelTo) String() string {
+	switch r {
+	case RelProvider:
+		return "provider"
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelSibling:
+		return "sibling"
+	default:
+		return "none"
+	}
+}
+
+// Graph is an immutable AS-level topology. ASes are indexed densely
+// (0..NumASes-1); the index<->ASN mapping and relationship-partitioned
+// adjacency are fixed at build time.
+type Graph struct {
+	asns  []bgp.ASN
+	index map[bgp.ASN]int32
+
+	providers [][]int32 // providers[i]: indices of i's providers
+	customers [][]int32 // customers[i]: indices of i's customers
+	peers     [][]int32 // peers[i]: indices of i's peers
+	siblings  [][]int32 // siblings[i]: indices of i's siblings
+	nSiblings int       // total sibling adjacencies (2 per link)
+
+	tier   []uint8 // 1 = top of hierarchy, increasing downward
+	upTopo []int32 // customers-before-providers order (customer->provider DAG)
+}
+
+// NumASes returns the number of ASes in the graph.
+func (g *Graph) NumASes() int { return len(g.asns) }
+
+// NumLinks returns the number of undirected adjacencies.
+func (g *Graph) NumLinks() int {
+	// Customer links are counted once (from the provider side); peer and
+	// sibling adjacencies appear on both endpoints.
+	n, peerAdj := 0, 0
+	for i := range g.asns {
+		n += len(g.customers[i])
+		peerAdj += len(g.peers[i])
+	}
+	return n + peerAdj/2 + g.nSiblings/2
+}
+
+// ASNs returns a copy of all AS numbers, in index order.
+func (g *Graph) ASNs() []bgp.ASN {
+	out := make([]bgp.ASN, len(g.asns))
+	copy(out, g.asns)
+	return out
+}
+
+// Index returns the dense index of asn, or false if unknown.
+func (g *Graph) Index(asn bgp.ASN) (int32, bool) {
+	i, ok := g.index[asn]
+	return i, ok
+}
+
+// ASNAt returns the ASN at dense index i.
+func (g *Graph) ASNAt(i int32) bgp.ASN { return g.asns[i] }
+
+// Has reports whether the AS is part of the graph.
+func (g *Graph) Has(asn bgp.ASN) bool {
+	_, ok := g.index[asn]
+	return ok
+}
+
+// ProvidersIdx returns the provider indices of AS index i. The returned
+// slice is internal storage: callers must treat it as read-only.
+func (g *Graph) ProvidersIdx(i int32) []int32 { return g.providers[i] }
+
+// CustomersIdx returns the customer indices of AS index i (read-only).
+func (g *Graph) CustomersIdx(i int32) []int32 { return g.customers[i] }
+
+// PeersIdx returns the peer indices of AS index i (read-only).
+func (g *Graph) PeersIdx(i int32) []int32 { return g.peers[i] }
+
+// SiblingsIdx returns the sibling indices of AS index i (read-only).
+func (g *Graph) SiblingsIdx(i int32) []int32 { return g.siblings[i] }
+
+// HasSiblings reports whether the topology contains any sibling links.
+// Sibling-bearing topologies require the message-level routing engine.
+func (g *Graph) HasSiblings() bool { return g.nSiblings > 0 }
+
+// neighborsByASN converts an index adjacency list to a sorted ASN slice.
+func (g *Graph) neighborsByASN(idx []int32) []bgp.ASN {
+	out := make([]bgp.ASN, len(idx))
+	for i, j := range idx {
+		out[i] = g.asns[j]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Providers returns the providers of asn (sorted copy); nil if asn is
+// unknown or has none.
+func (g *Graph) Providers(asn bgp.ASN) []bgp.ASN {
+	i, ok := g.index[asn]
+	if !ok {
+		return nil
+	}
+	return g.neighborsByASN(g.providers[i])
+}
+
+// Customers returns the customers of asn (sorted copy).
+func (g *Graph) Customers(asn bgp.ASN) []bgp.ASN {
+	i, ok := g.index[asn]
+	if !ok {
+		return nil
+	}
+	return g.neighborsByASN(g.customers[i])
+}
+
+// Peers returns the peers of asn (sorted copy).
+func (g *Graph) Peers(asn bgp.ASN) []bgp.ASN {
+	i, ok := g.index[asn]
+	if !ok {
+		return nil
+	}
+	return g.neighborsByASN(g.peers[i])
+}
+
+// Siblings returns the siblings of asn (sorted copy).
+func (g *Graph) Siblings(asn bgp.ASN) []bgp.ASN {
+	i, ok := g.index[asn]
+	if !ok {
+		return nil
+	}
+	return g.neighborsByASN(g.siblings[i])
+}
+
+// Degree returns the total number of neighbors of asn.
+func (g *Graph) Degree(asn bgp.ASN) int {
+	i, ok := g.index[asn]
+	if !ok {
+		return 0
+	}
+	return len(g.providers[i]) + len(g.customers[i]) + len(g.peers[i]) + len(g.siblings[i])
+}
+
+// RelOf reports how b relates to a: RelProvider means b is a's provider.
+func (g *Graph) RelOf(a, b bgp.ASN) RelTo {
+	ia, ok := g.index[a]
+	if !ok {
+		return RelNone
+	}
+	ib, ok := g.index[b]
+	if !ok {
+		return RelNone
+	}
+	for _, j := range g.providers[ia] {
+		if j == ib {
+			return RelProvider
+		}
+	}
+	for _, j := range g.customers[ia] {
+		if j == ib {
+			return RelCustomer
+		}
+	}
+	for _, j := range g.peers[ia] {
+		if j == ib {
+			return RelPeer
+		}
+	}
+	for _, j := range g.siblings[ia] {
+		if j == ib {
+			return RelSibling
+		}
+	}
+	return RelNone
+}
+
+// Tier returns the AS's hierarchy tier: 1 for provider-free core ASes,
+// and 1 + min(provider tiers) otherwise. Returns 0 for unknown ASes.
+func (g *Graph) Tier(asn bgp.ASN) int {
+	i, ok := g.index[asn]
+	if !ok {
+		return 0
+	}
+	return int(g.tier[i])
+}
+
+// TierIdx returns the tier of AS index i.
+func (g *Graph) TierIdx(i int32) int { return int(g.tier[i]) }
+
+// IsTier1 reports whether the AS has no providers.
+func (g *Graph) IsTier1(asn bgp.ASN) bool { return g.Tier(asn) == 1 }
+
+// Tier1s returns all tier-1 ASes, sorted by ASN.
+func (g *Graph) Tier1s() []bgp.ASN {
+	var out []bgp.ASN
+	for i, t := range g.tier {
+		if t == 1 {
+			out = append(out, g.asns[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// IsStub reports whether the AS has no customers.
+func (g *Graph) IsStub(asn bgp.ASN) bool {
+	i, ok := g.index[asn]
+	if !ok {
+		return false
+	}
+	return len(g.customers[i]) == 0
+}
+
+// TopByDegree returns the n highest-degree ASes, ties broken by lower ASN.
+// This is the paper's monitor-selection policy for the detection evaluation.
+func (g *Graph) TopByDegree(n int) []bgp.ASN {
+	type dd struct {
+		asn bgp.ASN
+		deg int
+	}
+	all := make([]dd, len(g.asns))
+	for i, a := range g.asns {
+		all[i] = dd{asn: a, deg: g.Degree(a)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].deg != all[b].deg {
+			return all[a].deg > all[b].deg
+		}
+		return all[a].asn < all[b].asn
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]bgp.ASN, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].asn
+	}
+	return out
+}
+
+// ConnectivityReport summarizes how well the graph hangs together —
+// the sanity check to run on externally loaded relationship files, whose
+// partial views often contain ASes with no path to the core.
+type ConnectivityReport struct {
+	// Tier1 is the size of the provider-free core; Islands counts
+	// provider-free ASes with no peers at all (degenerate "tier-1s" that
+	// are really disconnected fragments).
+	Tier1, Islands int
+	// CoreReachable counts ASes with a provider path to a true tier-1.
+	CoreReachable int
+	// MaxTier is the deepest provider chain.
+	MaxTier int
+}
+
+// Connectivity computes the report.
+func (g *Graph) Connectivity() ConnectivityReport {
+	var r ConnectivityReport
+	// An AS reaches the core if it is tier-1-with-peers or any of its
+	// providers does; walk providers-first (reverse UpTopoOrder).
+	reaches := make([]bool, len(g.asns))
+	for k := len(g.upTopo) - 1; k >= 0; k-- {
+		i := g.upTopo[k]
+		t := int(g.tier[i])
+		if t > r.MaxTier {
+			r.MaxTier = t
+		}
+		if t == 1 {
+			r.Tier1++
+			if len(g.peers[i]) == 0 && len(g.customers[i]) == 0 && len(g.siblings[i]) == 0 {
+				r.Islands++
+				continue
+			}
+			reaches[i] = true
+			r.CoreReachable++
+			continue
+		}
+		for _, p := range g.providers[i] {
+			if reaches[p] {
+				reaches[i] = true
+				r.CoreReachable++
+				break
+			}
+		}
+	}
+	return r
+}
+
+// CustomerConeSize returns the number of ASes in asn's customer cone
+// (direct and indirect customers, excluding asn itself) — the standard
+// measure of an AS's economic footprint, and the explanation for the
+// paper's Fig. 7 weak tail (victims with richly peered customer cones
+// resist interception).
+func (g *Graph) CustomerConeSize(asn bgp.ASN) int {
+	start, ok := g.index[asn]
+	if !ok {
+		return 0
+	}
+	seen := map[int32]bool{start: true}
+	stack := []int32{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.customers[u] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return len(seen) - 1
+}
+
+// UpTopoOrder returns an order of AS indices in which every customer appears
+// before all of its providers (a topological order of the customer->provider
+// DAG). The returned slice is internal storage: read-only.
+func (g *Graph) UpTopoOrder() []int32 { return g.upTopo }
+
+// Links enumerates every link once, providers first, sorted for determinism.
+func (g *Graph) Links() []Link {
+	var out []Link
+	for i := range g.asns {
+		for _, c := range g.customers[i] {
+			out = append(out, Link{A: g.asns[i], B: g.asns[c], Rel: ProviderToCustomer})
+		}
+		for _, p := range g.peers[i] {
+			if g.asns[i] < g.asns[p] {
+				out = append(out, Link{A: g.asns[i], B: g.asns[p], Rel: PeerToPeer})
+			}
+		}
+		for _, s := range g.siblings[i] {
+			if g.asns[i] < g.asns[s] {
+				out = append(out, Link{A: g.asns[i], B: g.asns[s], Rel: SiblingToSibling})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].A != out[b].A {
+			return out[a].A < out[b].A
+		}
+		if out[a].B != out[b].B {
+			return out[a].B < out[b].B
+		}
+		return out[a].Rel < out[b].Rel
+	})
+	return out
+}
+
+// Link is one AS adjacency; for ProviderToCustomer, A is the provider.
+type Link struct {
+	A, B bgp.ASN
+	Rel  Relationship
+}
+
+// String renders the link in serial-2 style ("A|B|-1" / "A|B|0"), with
+// the legacy CAIDA serial-1 code "2" for siblings.
+func (l Link) String() string {
+	code := "-1"
+	switch l.Rel {
+	case PeerToPeer:
+		code = "0"
+	case SiblingToSibling:
+		code = "2"
+	}
+	return fmt.Sprintf("%d|%d|%s", l.A, l.B, code)
+}

@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"errors"
+)
+
+// PathStats summarizes AS-path lengths under valley-free routing — the
+// structural property the paper's results most depend on (it pads "half
+// of the average AS path length" in its Tier-1 experiments).
+type PathStats struct {
+	// Samples is the number of (origin, AS) path samples measured.
+	Samples int
+	// MeanHops is the average unique-AS path length.
+	MeanHops float64
+	// MaxHops is the longest observed path.
+	MaxHops int
+	// ReachableFrac is the fraction of (origin, AS) pairs with a route.
+	ReachableFrac float64
+	// Dist[h] is the fraction of samples with exactly h hops.
+	Dist map[int]float64
+}
+
+// upDist computes hop distances from an origin under the pure up-phase
+// plus peer plus down-phase model, mirroring the routing engine's shape
+// but only counting hops. It lives here (not in the routing package) so
+// the topology package can self-diagnose without an import cycle; the
+// routing engines remain the authority on policy semantics.
+func upDist(g *Graph, origin int32) []int {
+	n := g.NumASes()
+	const inf = int(^uint(0) >> 1)
+	cust := make([]int, n)
+	peer := make([]int, n)
+	prov := make([]int, n)
+	for i := range cust {
+		cust[i], peer[i], prov[i] = inf, inf, inf
+	}
+	// Up: customer routes in topological order.
+	for _, p := range g.ProvidersIdx(origin) {
+		cust[p] = 1
+	}
+	for _, u := range g.UpTopoOrder() {
+		if u == origin || cust[u] == inf {
+			continue
+		}
+		for _, p := range g.ProvidersIdx(u) {
+			if cust[u]+1 < cust[p] {
+				cust[p] = cust[u] + 1
+			}
+		}
+	}
+	// Across: one peer hop.
+	for _, w := range g.PeersIdx(origin) {
+		peer[w] = 1
+	}
+	for i := int32(0); i < int32(n); i++ {
+		if i == origin || cust[i] == inf {
+			continue
+		}
+		for _, w := range g.PeersIdx(i) {
+			if cust[i]+1 < peer[w] {
+				peer[w] = cust[i] + 1
+			}
+		}
+	}
+	// Down: provider routes in reverse topological order.
+	sel := func(i int32) int {
+		best := cust[i]
+		if peer[i] < best {
+			best = peer[i]
+		}
+		if prov[i] < best {
+			best = prov[i]
+		}
+		return best
+	}
+	for _, c := range g.CustomersIdx(origin) {
+		prov[c] = 1
+	}
+	topo := g.UpTopoOrder()
+	for k := len(topo) - 1; k >= 0; k-- {
+		u := topo[k]
+		if u == origin {
+			continue
+		}
+		d := sel(u)
+		if d == inf {
+			continue
+		}
+		for _, c := range g.CustomersIdx(u) {
+			if d+1 < prov[c] {
+				prov[c] = d + 1
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := int32(0); i < int32(n); i++ {
+		if i == origin {
+			out[i] = 0
+			continue
+		}
+		if d := sel(i); d != inf {
+			out[i] = d
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// MeasurePaths samples up to nOrigins origins (spread over the AS list)
+// and measures valley-free hop distances from each to every AS.
+func MeasurePaths(g *Graph, nOrigins int) (PathStats, error) {
+	if g.HasSiblings() {
+		return PathStats{}, errors.New("topology: path stats do not support sibling graphs")
+	}
+	asns := g.ASNs()
+	if nOrigins <= 0 || nOrigins > len(asns) {
+		nOrigins = len(asns)
+	}
+	step := len(asns) / nOrigins
+	if step == 0 {
+		step = 1
+	}
+	stats := PathStats{Dist: make(map[int]float64)}
+	counts := make(map[int]int)
+	total, reachable, hopSum := 0, 0, 0
+	for oi := 0; oi < len(asns); oi += step {
+		origin, _ := g.Index(asns[oi])
+		dist := upDist(g, origin)
+		for i, d := range dist {
+			if int32(i) == origin {
+				continue
+			}
+			total++
+			if d < 0 {
+				continue
+			}
+			reachable++
+			hopSum += d
+			counts[d]++
+			if d > stats.MaxHops {
+				stats.MaxHops = d
+			}
+		}
+	}
+	if total == 0 {
+		return PathStats{}, errors.New("topology: nothing to measure")
+	}
+	stats.Samples = total
+	stats.ReachableFrac = float64(reachable) / float64(total)
+	if reachable > 0 {
+		stats.MeanHops = float64(hopSum) / float64(reachable)
+	}
+	for h, c := range counts {
+		stats.Dist[h] = float64(c) / float64(reachable)
+	}
+	return stats, nil
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"aspp/internal/bgp"
+)
+
+// This file reads and writes AS-relationship files in the CAIDA "serial-2"
+// line format used by essentially all public relationship datasets:
+//
+//	# comments
+//	<provider-as>|<customer-as>|-1
+//	<peer-as>|<peer-as>|0
+//
+// so real inferred topologies can be dropped in for the generated ones.
+
+// ReadSerial2 parses a relationship file into a Graph.
+func ReadSerial2(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("topology: line %d: want a|b|rel, got %q", lineno, line)
+		}
+		a, err := bgp.ParseASN(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineno, err)
+		}
+		c, err := bgp.ParseASN(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineno, err)
+		}
+		switch strings.TrimSpace(fields[2]) {
+		case "-1":
+			err = b.AddP2C(a, c)
+		case "0":
+			err = b.AddP2P(a, c)
+		case "2":
+			err = b.AddS2S(a, c)
+		default:
+			err = fmt.Errorf("unknown relationship code %q", fields[2])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: read: %w", err)
+	}
+	return b.Build()
+}
+
+// WriteSerial2 writes g in serial-2 format, deterministically sorted.
+func WriteSerial2(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d ASes, %d links\n", g.NumASes(), g.NumLinks()); err != nil {
+		return err
+	}
+	for _, l := range g.Links() {
+		if _, err := fmt.Fprintln(bw, l.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"time"
+
+	"aspp/internal/bgp"
+)
+
+// This file implements the data-plane detection class the paper's related
+// work surveys (iSPY, lightweight distributed probing): a prefix owner or
+// its monitors keep RTT baselines and flag sudden inflation, which
+// catches interceptions that detour traffic geographically — the Facebook
+// anomaly's 41→249 ms jump — but, unlike control-plane prepend checking,
+// misses interceptions whose detour stays within the same region.
+
+// LatencyBaseline holds a probe source's historical RTT to a destination.
+type LatencyBaseline struct {
+	Source bgp.ASN
+	RTT    time.Duration
+}
+
+// LatencyAlarm flags a probe whose RTT inflated beyond the threshold.
+type LatencyAlarm struct {
+	Source    bgp.ASN
+	Baseline  time.Duration
+	Observed  time.Duration
+	Inflation float64 // Observed / Baseline
+}
+
+// DetectLatencyDetour compares current end-to-end RTTs against baselines
+// and raises an alarm for every probe whose RTT inflated by at least
+// factor (e.g. 2.0 = doubled). Probes without a baseline are skipped.
+func DetectLatencyDetour(baselines []LatencyBaseline, observed map[bgp.ASN]time.Duration, factor float64) []LatencyAlarm {
+	if factor <= 1 {
+		factor = 2
+	}
+	var alarms []LatencyAlarm
+	for _, b := range baselines {
+		cur, ok := observed[b.Source]
+		if !ok || b.RTT <= 0 {
+			continue
+		}
+		inflation := float64(cur) / float64(b.RTT)
+		if inflation >= factor {
+			alarms = append(alarms, LatencyAlarm{
+				Source:    b.Source,
+				Baseline:  b.RTT,
+				Observed:  cur,
+				Inflation: inflation,
+			})
+		}
+	}
+	return alarms
+}
+
+// EndToEndRTT runs a traceroute over path and returns the final hop's RTT
+// (0 for an empty path: destination unreachable or local).
+func EndToEndRTT(path bgp.Path, cfg Config) time.Duration {
+	if len(path) == 0 {
+		return 0
+	}
+	hops := Run(path, cfg)
+	return hops[len(hops)-1].RTT
+}
+
+// ProbeAll measures end-to-end RTTs from each source along its given
+// path, for building baselines and current observations.
+func ProbeAll(paths map[bgp.ASN]bgp.Path, regions RegionMap, seed int64) map[bgp.ASN]time.Duration {
+	out := make(map[bgp.ASN]time.Duration, len(paths))
+	for src, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		out[src] = EndToEndRTT(p, Config{Source: src, Regions: regions, Seed: seed})
+	}
+	return out
+}

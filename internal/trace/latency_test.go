@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"aspp/internal/bgp"
+)
+
+func TestDetectLatencyDetourCatchesGeographicDetour(t *testing.T) {
+	regions := facebookRegions()
+	// Baseline: the domestic route. Observed: the trans-Pacific detour.
+	basePaths := map[bgp.ASN]bgp.Path{
+		7132: {7018, 3356, 32934, 32934, 32934, 32934, 32934},
+	}
+	attackPaths := map[bgp.ASN]bgp.Path{
+		7132: {7018, 4134, 9318, 32934, 32934, 32934},
+	}
+	baseRTT := ProbeAll(basePaths, regions, 1)
+	var baselines []LatencyBaseline
+	for src, rtt := range baseRTT {
+		baselines = append(baselines, LatencyBaseline{Source: src, RTT: rtt})
+	}
+	observed := ProbeAll(attackPaths, regions, 1)
+	alarms := DetectLatencyDetour(baselines, observed, 2.0)
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %v, want 1", alarms)
+	}
+	if alarms[0].Inflation < 2 {
+		t.Errorf("inflation = %.1f, want >= 2", alarms[0].Inflation)
+	}
+}
+
+func TestDetectLatencyDetourMissesSameRegionInterception(t *testing.T) {
+	// The data-plane class's blind spot, which motivates the paper's
+	// control-plane approach: an attacker in the same region adds little
+	// RTT, so the latency check stays silent even though the route now
+	// traverses the attacker.
+	regions := RegionMap{
+		7132: RegionUSWest, 7018: RegionUSWest, 3356: RegionUSWest,
+		1239:  RegionUSWest, // the same-region attacker
+		32934: RegionUSWest,
+	}
+	base := map[bgp.ASN]bgp.Path{
+		7132: {7018, 3356, 32934, 32934, 32934},
+	}
+	attack := map[bgp.ASN]bgp.Path{
+		7132: {7018, 1239, 32934}, // via the attacker, but still domestic
+	}
+	baseRTT := ProbeAll(base, regions, 1)
+	var baselines []LatencyBaseline
+	for src, rtt := range baseRTT {
+		baselines = append(baselines, LatencyBaseline{Source: src, RTT: rtt})
+	}
+	observed := ProbeAll(attack, regions, 1)
+	if alarms := DetectLatencyDetour(baselines, observed, 2.0); len(alarms) != 0 {
+		t.Errorf("latency check flagged a same-region interception: %v", alarms)
+	}
+}
+
+func TestDetectLatencyDetourEdgeCases(t *testing.T) {
+	baselines := []LatencyBaseline{
+		{Source: 1, RTT: 50 * time.Millisecond},
+		{Source: 2, RTT: 0}, // broken baseline: skipped
+	}
+	observed := map[bgp.ASN]time.Duration{
+		1: 40 * time.Millisecond, // faster: fine
+		2: 500 * time.Millisecond,
+		3: time.Second, // no baseline: skipped
+	}
+	if got := DetectLatencyDetour(baselines, observed, 2.0); len(got) != 0 {
+		t.Errorf("unexpected alarms: %v", got)
+	}
+	// Factor <= 1 falls back to 2x.
+	observed[1] = 99 * time.Millisecond
+	if got := DetectLatencyDetour(baselines, observed, 0); len(got) != 0 {
+		t.Errorf("sub-2x inflation flagged with default factor: %v", got)
+	}
+	observed[1] = 101 * time.Millisecond
+	if got := DetectLatencyDetour(baselines, observed, 0); len(got) != 1 {
+		t.Errorf("2x inflation missed: %v", got)
+	}
+}
+
+func TestEndToEndRTTEmptyPath(t *testing.T) {
+	if got := EndToEndRTT(nil, Config{Source: 1}); got != 0 {
+		t.Errorf("empty path RTT = %v, want 0", got)
+	}
+}
