@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test race fuzz-smoke bench
+
+# Tier-1 matrix: everything CI gates on.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/parallel/ ./internal/routing/
+	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/experiment/
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzDetect -fuzztime=10s ./internal/detect/
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -25,6 +25,7 @@
 package aspp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -268,14 +269,31 @@ func (in *Internet) SamplePairs(cfg PairConfig) ([]PairImpact, error) {
 	return experiment.SamplePairs(in.g, cfg)
 }
 
+// SamplePairsCtx is SamplePairs with cooperative cancellation: once ctx is
+// cancelled no further instance is simulated, in-flight work drains, and
+// ctx.Err() is returned.
+func (in *Internet) SamplePairsCtx(ctx context.Context, cfg PairConfig) ([]PairImpact, error) {
+	return experiment.SamplePairsCtx(ctx, in.g, cfg)
+}
+
 // SweepPrepend runs a λ sweep for one pair (paper Figs. 9-12).
 func (in *Internet) SweepPrepend(victim, attacker ASN, maxLambda int, violate bool) ([]SweepPoint, error) {
 	return experiment.SweepPrepend(in.g, victim, attacker, maxLambda, violate, 0)
 }
 
+// SweepPrependCtx is SweepPrepend with cooperative cancellation.
+func (in *Internet) SweepPrependCtx(ctx context.Context, victim, attacker ASN, maxLambda int, violate bool) ([]SweepPoint, error) {
+	return experiment.SweepPrependCtx(ctx, in.g, victim, attacker, maxLambda, violate, 0)
+}
+
 // RunDetection evaluates the detection algorithm (paper Figs. 13-14).
 func (in *Internet) RunDetection(cfg DetectionConfig) (*DetectionOutcome, error) {
 	return experiment.RunDetection(in.g, cfg)
+}
+
+// RunDetectionCtx is RunDetection with cooperative cancellation.
+func (in *Internet) RunDetectionCtx(ctx context.Context, cfg DetectionConfig) (*DetectionOutcome, error) {
+	return experiment.RunDetectionCtx(ctx, in.g, cfg)
 }
 
 // NewDetector builds a streaming detector over the given vantage points,
@@ -335,6 +353,12 @@ func (in *Internet) InferRelationships(originSample, nTopMonitors int) (*relinfe
 // be hijacked" as a (victim tier × attacker tier) pollution matrix.
 func (in *Internet) SusceptibilityMatrix(cfg SusceptibilityConfig) ([]TierCell, error) {
 	return experiment.SusceptibilityMatrix(in.g, cfg)
+}
+
+// SusceptibilityMatrixCtx is SusceptibilityMatrix with cooperative
+// cancellation.
+func (in *Internet) SusceptibilityMatrixCtx(ctx context.Context, cfg SusceptibilityConfig) ([]TierCell, error) {
+	return experiment.SusceptibilityMatrixCtx(ctx, in.g, cfg)
 }
 
 // DefaultSusceptibilityConfig is the calibrated §VI-B setup.

@@ -322,6 +322,57 @@ func BenchmarkPairFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkPropagateReuse is the scratch-reuse ablation at full paper
+// scale (n=4000): the same baseline+attack propagation pair with fresh
+// allocations every iteration vs a warmed reusable routing.Scratch. The
+// reuse leg must report far fewer allocs/op (it is zero after warm-up;
+// the acceptance bar is ≥30% fewer than fresh).
+func BenchmarkPropagateReuse(b *testing.B) {
+	cfg := topology.DefaultGenConfig(4000)
+	cfg.Seed = 9
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, attacker := g.Tier1s()[0], g.Tier1s()[1]
+	ann := routing.Announcement{Origin: victim, Prepend: 3}
+	atk := routing.Attacker{AS: attacker}
+
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			base, err := routing.Propagate(g, ann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := routing.PropagateAttack(g, ann, atk, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		s := routing.NewScratch()
+		base, err := routing.PropagateScratch(g, ann, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := routing.PropagateAttackScratch(g, ann, atk, base, s); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base, err := routing.PropagateScratch(g, ann, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := routing.PropagateAttackScratch(g, ann, atk, base, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPropagate measures one baseline route propagation.
 func BenchmarkPropagate(b *testing.B) {
 	in := benchInternet(b)

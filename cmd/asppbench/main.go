@@ -11,13 +11,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"aspp"
 	"aspp/internal/defense"
@@ -26,13 +30,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels the sweep cooperatively: workers drain
+	// their in-flight simulations, then the run exits cleanly. A second
+	// signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "asppbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "asppbench:", err)
 		os.Exit(1)
 	}
 }
 
 type benchContext struct {
+	ctx      context.Context
 	internet *aspp.Internet
 	seed     int64
 	pairs    int
@@ -62,7 +76,7 @@ var registry = map[string]experimentFunc{
 	"susceptibility": runSusceptibility, // §VI-B tier matrix
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asppbench", flag.ContinueOnError)
 	var (
 		exps   = fs.String("exp", "all", "comma-separated experiments (fig1,table1,fig5..fig14) or 'all'")
@@ -115,13 +129,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "### %s\n", name)
 		var tee bytes.Buffer
-		ctx := &benchContext{
-			internet: internet, seed: *seed, pairs: *pairs,
+		bc := &benchContext{
+			ctx: ctx, internet: internet, seed: *seed, pairs: *pairs,
 			out: io.MultiWriter(out, &tee),
 		}
-		if err := registry[name](ctx); err != nil {
+		if err := registry[name](bc); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return err
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintln(out)
@@ -148,25 +168,25 @@ func expOrder(name string) int {
 	return len(order)
 }
 
-func runCompare(ctx *benchContext) error {
+func runCompare(bc *benchContext) error {
 	cfg := experiment.DefaultCompareConfig()
-	cfg.Seed = ctx.seed
-	out, err := experiment.CompareAttackTypes(ctx.internet.Graph(), cfg)
+	cfg.Seed = bc.seed
+	out, err := experiment.CompareAttackTypesCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "attack\tmean_pollution_pct\tpct_moas_detected\tpct_fakelink_detected\tpct_aspp_detected")
+	fmt.Fprintln(bc.out, "attack\tmean_pollution_pct\tpct_moas_detected\tpct_fakelink_detected\tpct_aspp_detected")
 	for _, c := range out {
-		fmt.Fprintf(ctx.out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+		fmt.Fprintf(bc.out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
 			c.Type, 100*c.MeanPollution, 100*c.DetectedByMOAS,
 			100*c.DetectedByFakeLink, 100*c.DetectedByASPP)
 	}
-	fmt.Fprintln(ctx.out, "# §II.B quantified: ASPP interception evades MOAS and fake-link detection")
+	fmt.Fprintln(bc.out, "# §II.B quantified: ASPP interception evades MOAS and fake-link detection")
 	return nil
 }
 
-func runDefense(ctx *benchContext) error {
-	g := ctx.internet.Graph()
+func runDefense(bc *benchContext) error {
+	g := bc.internet.Graph()
 	var victim aspp.ASN
 	for _, asn := range g.ASNs() {
 		if g.IsStub(asn) && len(g.Providers(asn)) >= 2 {
@@ -178,21 +198,21 @@ func runDefense(ctx *benchContext) error {
 		return fmt.Errorf("no multihomed stub to defend")
 	}
 	cfg := aspp.DefaultDefenseConfig(victim)
-	cfg.Seed = ctx.seed
-	outcomes, err := ctx.internet.CompareDefenses(cfg)
+	cfg.Seed = bc.seed
+	outcomes, err := bc.internet.CompareDefenses(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "strategy\tpct_detected")
+	fmt.Fprintln(bc.out, "strategy\tpct_detected")
 	for _, o := range outcomes {
-		fmt.Fprintf(ctx.out, "%s\t%.1f\n", o.Strategy, 100*o.DetectedFrac)
+		fmt.Fprintf(bc.out, "%s\t%.1f\n", o.Strategy, 100*o.DetectedFrac)
 	}
-	fmt.Fprintf(ctx.out, "# victim %v, budget %d monitors, owner-policy detection\n", victim, cfg.Budget)
+	fmt.Fprintf(bc.out, "# victim %v, budget %d monitors, owner-policy detection\n", victim, cfg.Budget)
 	return nil
 }
 
-func runMitigation(ctx *benchContext) error {
-	g := ctx.internet.Graph()
+func runMitigation(bc *benchContext) error {
+	g := bc.internet.Graph()
 	victim, err := experiment.PickTier1ByDegree(g, 0)
 	if err != nil {
 		return err
@@ -203,89 +223,89 @@ func runMitigation(ctx *benchContext) error {
 	}
 	sc := aspp.Scenario{Victim: victim, Attacker: attacker, Prepend: 4}
 	fracs := []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 1}
-	rnd, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployRandom, ctx.seed)
+	rnd, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployRandom, bc.seed)
 	if err != nil {
 		return err
 	}
-	top, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployTopDegree, ctx.seed)
+	top, err := defense.CautiousAdoptionSweep(g, sc, fracs, defense.DeployTopDegree, bc.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "deploy_frac\tpct_polluted_random_rollout\tpct_polluted_core_first_rollout")
+	fmt.Fprintln(bc.out, "deploy_frac\tpct_polluted_random_rollout\tpct_polluted_core_first_rollout")
 	for i := range rnd {
-		fmt.Fprintf(ctx.out, "%.2f\t%.1f\t%.1f\n",
+		fmt.Fprintf(bc.out, "%.2f\t%.1f\t%.1f\n",
 			rnd[i].DeployFrac, 100*rnd[i].Pollution, 100*top[i].Pollution)
 	}
-	fmt.Fprintf(ctx.out, "# PGBGP-style cautious adoption vs %v stripping %v (λ=4)\n", attacker, victim)
+	fmt.Fprintf(bc.out, "# PGBGP-style cautious adoption vs %v stripping %v (λ=4)\n", attacker, victim)
 	return nil
 }
 
-func runSusceptibility(ctx *benchContext) error {
+func runSusceptibility(bc *benchContext) error {
 	cfg := experiment.DefaultSusceptibilityConfig()
-	cfg.Seed = ctx.seed
-	cells, err := experiment.SusceptibilityMatrix(ctx.internet.Graph(), cfg)
+	cfg.Seed = bc.seed
+	cells, err := experiment.SusceptibilityMatrixCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "victim_tier\tattacker_tier\tinstances\tmean_pollution_pct\tmax_pollution_pct")
+	fmt.Fprintln(bc.out, "victim_tier\tattacker_tier\tinstances\tmean_pollution_pct\tmax_pollution_pct")
 	for _, c := range cells {
-		fmt.Fprintf(ctx.out, "%d\t%d\t%d\t%.1f\t%.1f\n",
+		fmt.Fprintf(bc.out, "%d\t%d\t%d\t%.1f\t%.1f\n",
 			c.VictimTier, c.AttackerTier, c.Instances,
 			100*c.MeanPollution, 100*c.MaxPollution)
 	}
-	fmt.Fprintf(ctx.out, "# §VI-B: who hijacks whom, valley-free attacker, λ=%d (tier %d = edge bucket)\n",
+	fmt.Fprintf(bc.out, "# §VI-B: who hijacks whom, valley-free attacker, λ=%d (tier %d = edge bucket)\n",
 		cfg.Prepend, cfg.MaxTier)
 	return nil
 }
 
-func runInference(ctx *benchContext) error {
-	_, acc, err := ctx.internet.InferRelationships(200, 30)
+func runInference(bc *benchContext) error {
+	_, acc, err := bc.internet.InferRelationships(200, 30)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "metric\tvalue")
-	fmt.Fprintf(ctx.out, "classified_links\t%d\n", acc.Links)
-	fmt.Fprintf(ctx.out, "pct_exact\t%.1f\n", 100*acc.Overall())
-	fmt.Fprintf(ctx.out, "wrong_direction\t%d\n", acc.WrongDirection)
-	fmt.Fprintf(ctx.out, "misclassified\t%d\n", acc.Misclassified)
-	fmt.Fprintln(ctx.out, "# consensus of Gao and tier-1-seeded Gao vs generator ground truth")
+	fmt.Fprintln(bc.out, "metric\tvalue")
+	fmt.Fprintf(bc.out, "classified_links\t%d\n", acc.Links)
+	fmt.Fprintf(bc.out, "pct_exact\t%.1f\n", 100*acc.Overall())
+	fmt.Fprintf(bc.out, "wrong_direction\t%d\n", acc.WrongDirection)
+	fmt.Fprintf(bc.out, "misclassified\t%d\n", acc.Misclassified)
+	fmt.Fprintln(bc.out, "# consensus of Gao and tier-1-seeded Gao vs generator ground truth")
 	return nil
 }
 
-func runFig1(ctx *benchContext) error {
-	cs, err := aspp.FacebookCaseStudy(300, ctx.seed)
+func runFig1(bc *benchContext) error {
+	cs, err := aspp.FacebookCaseStudy(300, bc.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(ctx.out, cs.AnnouncementChain())
+	fmt.Fprint(bc.out, cs.AnnouncementChain())
 	outcomes, err := cs.PrefixStudy()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "\nper-prefix view (paper: only the two front-end blocks are affected):")
-	fmt.Fprint(ctx.out, experiment.RenderPrefixStudy(outcomes))
+	fmt.Fprintln(bc.out, "\nper-prefix view (paper: only the two front-end blocks are affected):")
+	fmt.Fprint(bc.out, experiment.RenderPrefixStudy(outcomes))
 	return nil
 }
 
-func runTable1(ctx *benchContext) error {
-	cs, err := aspp.FacebookCaseStudy(300, ctx.seed)
+func runTable1(bc *benchContext) error {
+	cs, err := aspp.FacebookCaseStudy(300, bc.seed)
 	if err != nil {
 		return err
 	}
-	normal, hijacked := cs.Traceroutes(ctx.seed)
-	fmt.Fprintln(ctx.out, "traceroute to 69.171.224.39 (Facebook) — normal route:")
-	fmt.Fprint(ctx.out, aspp.RenderTraceroute(normal))
-	fmt.Fprintln(ctx.out, "\ntraceroute during the anomaly (via AS4134 / AS9318):")
-	fmt.Fprint(ctx.out, aspp.RenderTraceroute(hijacked))
+	normal, hijacked := cs.Traceroutes(bc.seed)
+	fmt.Fprintln(bc.out, "traceroute to 69.171.224.39 (Facebook) — normal route:")
+	fmt.Fprint(bc.out, aspp.RenderTraceroute(normal))
+	fmt.Fprintln(bc.out, "\ntraceroute during the anomaly (via AS4134 / AS9318):")
+	fmt.Fprint(bc.out, aspp.RenderTraceroute(hijacked))
 	return nil
 }
 
-func (ctx *benchContext) survey() (*aspp.SurveyResult, error) {
-	return ctx.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: ctx.seed})
+func (bc *benchContext) survey() (*aspp.SurveyResult, error) {
+	return bc.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: bc.seed})
 }
 
-func runFig5(ctx *benchContext) error {
-	res, err := ctx.survey()
+func runFig5(bc *benchContext) error {
+	res, err := bc.survey()
 	if err != nil {
 		return err
 	}
@@ -299,29 +319,29 @@ func runFig5(ctx *benchContext) error {
 	}
 	var rows [][]float64
 	header := []string{"series", "frac_prefixes_with_prepending", "cdf"}
-	fmt.Fprintln(ctx.out, strings.Join(header, "\t"))
+	fmt.Fprintln(bc.out, strings.Join(header, "\t"))
 	for i, s := range series {
 		cdf, err := s.cdf()
 		if err != nil {
 			continue // e.g. no tier-1 monitors: skip the series
 		}
 		for _, p := range cdf.Points() {
-			fmt.Fprintf(ctx.out, "%s\t%.4f\t%.4f\n", s.name, p.X, p.Y)
+			fmt.Fprintf(bc.out, "%s\t%.4f\t%.4f\n", s.name, p.X, p.Y)
 		}
 		if i == 0 {
-			fmt.Fprintf(ctx.out, "# mean fraction of prepended table routes: %.3f (paper: ~0.13, up to 0.30)\n", cdf.Mean())
+			fmt.Fprintf(bc.out, "# mean fraction of prepended table routes: %.3f (paper: ~0.13, up to 0.30)\n", cdf.Mean())
 		}
 	}
 	_ = rows
 	return nil
 }
 
-func runFig6(ctx *benchContext) error {
-	res, err := ctx.survey()
+func runFig6(bc *benchContext) error {
+	res, err := bc.survey()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "prepend_count\ttable_fraction\tupdates_fraction")
+	fmt.Fprintln(bc.out, "prepend_count\ttable_fraction\tupdates_fraction")
 	vals := map[int]bool{}
 	for _, v := range res.TablePrependDist.Values() {
 		vals[v] = true
@@ -335,10 +355,10 @@ func runFig6(ctx *benchContext) error {
 	}
 	sort.Ints(ordered)
 	for _, v := range ordered {
-		fmt.Fprintf(ctx.out, "%d\t%.6f\t%.6f\n", v,
+		fmt.Fprintf(bc.out, "%d\t%.6f\t%.6f\n", v,
 			res.TablePrependDist.Fraction(v), res.UpdatePrependDist.Fraction(v))
 	}
-	fmt.Fprintf(ctx.out, "# table: f(2)=%.2f f(3)=%.2f (paper: 0.34, 0.22); tail>10: table %.4f\n",
+	fmt.Fprintf(bc.out, "# table: f(2)=%.2f f(3)=%.2f (paper: 0.34, 0.22); tail>10: table %.4f\n",
 		res.TablePrependDist.Fraction(2), res.TablePrependDist.Fraction(3), tailAbove(res.TablePrependDist, 10))
 	return nil
 }
@@ -353,64 +373,64 @@ func tailAbove(h *stats.Histogram, k int) float64 {
 	return t
 }
 
-func runPairFig(ctx *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
-	pairsResult, err := ctx.internet.SamplePairs(aspp.PairConfig{
-		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: ctx.seed,
+func runPairFig(bc *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
+	pairsResult, err := bc.internet.SamplePairsCtx(bc.ctx, aspp.PairConfig{
+		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: bc.seed,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "rank\tpct_after\tpct_before\tvictim\tattacker")
+	fmt.Fprintln(bc.out, "rank\tpct_after\tpct_before\tvictim\tattacker")
 	var sum float64
 	for i, p := range pairsResult {
-		fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\t%d\t%d\n",
+		fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\t%d\t%d\n",
 			i+1, 100*p.After, 100*p.Before, p.Victim, p.Attacker)
 		sum += p.After
 	}
-	fmt.Fprintf(ctx.out, "# %s: mean pollution %.1f%% over %d instances (λ=3)\n",
+	fmt.Fprintf(bc.out, "# %s: mean pollution %.1f%% over %d instances (λ=3)\n",
 		label, 100*sum/float64(len(pairsResult)), len(pairsResult))
 	return nil
 }
 
-func runFig7(ctx *benchContext) error {
-	return runPairFig(ctx, aspp.PairsTier1, 80, false, "tier-1 vs tier-1")
+func runFig7(bc *benchContext) error {
+	return runPairFig(bc, aspp.PairsTier1, 80, false, "tier-1 vs tier-1")
 }
 
-func runFig8(ctx *benchContext) error {
+func runFig8(bc *benchContext) error {
 	// The paper's random (mostly tier-4/5) attackers reach up to ~90%
 	// pollution, which requires the bogus route to propagate upward; its
 	// Fig. 2 simulator does not apply the attacker's own export
 	// restriction, so the random-pair figure runs the violating attacker.
-	return runPairFig(ctx, aspp.PairsRandom, 27, true, "random pairs (propagating attacker)")
+	return runPairFig(bc, aspp.PairsRandom, 27, true, "random pairs (propagating attacker)")
 }
 
-func runSweepFig(ctx *benchContext, victim, attacker aspp.ASN, both bool, label string) error {
-	follow, err := ctx.internet.SweepPrepend(victim, attacker, 8, false)
+func runSweepFig(bc *benchContext, victim, attacker aspp.ASN, both bool, label string) error {
+	follow, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, false)
 	if err != nil {
 		return err
 	}
 	if !both {
-		fmt.Fprintln(ctx.out, "lambda\tpct_after\tpct_before")
+		fmt.Fprintln(bc.out, "lambda\tpct_after\tpct_before")
 		for _, p := range follow {
-			fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\n", p.Lambda, 100*p.After, 100*p.Before)
+			fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\n", p.Lambda, 100*p.After, 100*p.Before)
 		}
 	} else {
-		violate, err := ctx.internet.SweepPrepend(victim, attacker, 8, true)
+		violate, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, true)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(ctx.out, "lambda\tpct_follow_valley_free\tpct_violate_policy")
+		fmt.Fprintln(bc.out, "lambda\tpct_follow_valley_free\tpct_violate_policy")
 		for i := range follow {
-			fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\n",
+			fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\n",
 				follow[i].Lambda, 100*follow[i].After, 100*violate[i].After)
 		}
 	}
-	fmt.Fprintf(ctx.out, "# %s (victim %v, attacker %v)\n", label, victim, attacker)
+	fmt.Fprintf(bc.out, "# %s (victim %v, attacker %v)\n", label, victim, attacker)
 	return nil
 }
 
-func runFig9(ctx *benchContext) error {
-	g := ctx.internet.Graph()
+func runFig9(bc *benchContext) error {
+	g := bc.internet.Graph()
 	victim, err := experiment.PickTier1ByDegree(g, 0)
 	if err != nil {
 		return err
@@ -419,11 +439,11 @@ func runFig9(ctx *benchContext) error {
 	if err != nil {
 		return err
 	}
-	return runSweepFig(ctx, victim, attacker, false, "tier-1 hijacks tier-1 ('Sprint hijacks AT&T')")
+	return runSweepFig(bc, victim, attacker, false, "tier-1 hijacks tier-1 ('Sprint hijacks AT&T')")
 }
 
-func runFig10(ctx *benchContext) error {
-	g := ctx.internet.Graph()
+func runFig10(bc *benchContext) error {
+	g := bc.internet.Graph()
 	attacker, err := experiment.PickTier1ByDegree(g, 0)
 	if err != nil {
 		return err
@@ -432,11 +452,11 @@ func runFig10(ctx *benchContext) error {
 	if err != nil {
 		return err
 	}
-	return runSweepFig(ctx, victim, attacker, false, "tier-1 hijacks content stub ('AT&T hijacks Facebook')")
+	return runSweepFig(bc, victim, attacker, false, "tier-1 hijacks content stub ('AT&T hijacks Facebook')")
 }
 
-func runFig11(ctx *benchContext) error {
-	g := ctx.internet.Graph()
+func runFig11(bc *benchContext) error {
+	g := bc.internet.Graph()
 	attacker, err := experiment.PickContentStub(g)
 	if err != nil {
 		return err
@@ -445,11 +465,11 @@ func runFig11(ctx *benchContext) error {
 	if err != nil {
 		return err
 	}
-	follow, err := ctx.internet.SweepPrepend(victim, attacker, 8, false)
+	follow, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, false)
 	if err != nil {
 		return err
 	}
-	violate, err := ctx.internet.SweepPrepend(victim, attacker, 8, true)
+	violate, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, true)
 	if err != nil {
 		return err
 	}
@@ -464,88 +484,88 @@ func runFig11(ctx *benchContext) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "lambda\tpct_follow_valley_free\tpct_violate_policy\tpct_follow_with_victim_sibling")
+	fmt.Fprintln(bc.out, "lambda\tpct_follow_valley_free\tpct_violate_policy\tpct_follow_with_victim_sibling")
 	for i := range follow {
-		fmt.Fprintf(ctx.out, "%d\t%.2f\t%.2f\t%.2f\n",
+		fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\t%.2f\n",
 			follow[i].Lambda, 100*follow[i].After, 100*violate[i].After, 100*sibPoints[i].After)
 	}
-	fmt.Fprintf(ctx.out, "# content stub hijacks tier-1 ('Facebook hijacks NTT'; victim %v, attacker %v, sibling AS65530)\n",
+	fmt.Fprintf(bc.out, "# content stub hijacks tier-1 ('Facebook hijacks NTT'; victim %v, attacker %v, sibling AS65530)\n",
 		victim, attacker)
 	return nil
 }
 
-func runFig12(ctx *benchContext) error {
-	g := ctx.internet.Graph()
-	attacker, err := experiment.PickStub(g, ctx.seed)
+func runFig12(bc *benchContext) error {
+	g := bc.internet.Graph()
+	attacker, err := experiment.PickStub(g, bc.seed)
 	if err != nil {
 		return err
 	}
-	victim, err := experiment.PickStub(g, ctx.seed+101)
+	victim, err := experiment.PickStub(g, bc.seed+101)
 	if err != nil {
 		return err
 	}
 	if victim == attacker {
-		victim, err = experiment.PickStub(g, ctx.seed+202)
+		victim, err = experiment.PickStub(g, bc.seed+202)
 		if err != nil {
 			return err
 		}
 	}
-	return runSweepFig(ctx, victim, attacker, true, "small AS hijacks small AS")
+	return runSweepFig(bc, victim, attacker, true, "small AS hijacks small AS")
 }
 
-func (ctx *benchContext) detection() (*aspp.DetectionOutcome, error) {
+func (bc *benchContext) detection() (*aspp.DetectionOutcome, error) {
 	cfg := aspp.DefaultDetectionConfig()
-	cfg.Pairs = ctx.pairs
-	cfg.Seed = ctx.seed
+	cfg.Pairs = bc.pairs
+	cfg.Seed = bc.seed
 	// Latency series (Fig. 14) at a coverage-matched monitor count: the
 	// paper's 150 monitors cover ~0.5-0.75% of the 2011 Internet.
-	cfg.LatencyMonitors = ctx.internet.Graph().NumASes() * 3 / 400
+	cfg.LatencyMonitors = bc.internet.Graph().NumASes() * 3 / 400
 	if cfg.LatencyMonitors < 10 {
 		cfg.LatencyMonitors = 10
 	}
-	return ctx.internet.RunDetection(cfg)
+	return bc.internet.RunDetectionCtx(bc.ctx, cfg)
 }
 
-func runFig13(ctx *benchContext) error {
-	out, err := ctx.detection()
+func runFig13(bc *benchContext) error {
+	out, err := bc.detection()
 	if err != nil {
 		return err
 	}
 	// Ablation 1: random monitor placement.
 	cfg := aspp.DefaultDetectionConfig()
-	cfg.Pairs = ctx.pairs
-	cfg.Seed = ctx.seed
+	cfg.Pairs = bc.pairs
+	cfg.Seed = bc.seed
 	cfg.Policy = aspp.MonitorsRandom
-	rnd, err := ctx.internet.RunDetection(cfg)
+	rnd, err := bc.internet.RunDetectionCtx(bc.ctx, cfg)
 	if err != nil {
 		return err
 	}
 	// Ablation 2: the hint rules fed with *inferred* relationships, as a
 	// real deployment without ground truth must run.
-	inferred, _, err := ctx.internet.InferRelationships(200, 30)
+	inferred, _, err := bc.internet.InferRelationships(200, 30)
 	if err != nil {
 		return err
 	}
 	cfg = aspp.DefaultDetectionConfig()
-	cfg.Pairs = ctx.pairs
-	cfg.Seed = ctx.seed
+	cfg.Pairs = bc.pairs
+	cfg.Seed = bc.seed
 	cfg.Rels = inferred
-	inf, err := ctx.internet.RunDetection(cfg)
+	inf, err := bc.internet.RunDetectionCtx(bc.ctx, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "monitors\tpct_detected\tpct_high_conf\tpct_attributed\tpct_detected_random_monitors\tpct_detected_inferred_rels")
+	fmt.Fprintln(bc.out, "monitors\tpct_detected\tpct_high_conf\tpct_attributed\tpct_detected_random_monitors\tpct_detected_inferred_rels")
 	for i, p := range out.Accuracy {
-		fmt.Fprintf(ctx.out, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+		fmt.Fprintf(bc.out, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 			p.Monitors, 100*p.Detected, 100*p.High, 100*p.Attributed,
 			100*rnd.Accuracy[i].Detected, 100*inf.Accuracy[i].Detected)
 	}
-	fmt.Fprintf(ctx.out, "# %d effective attacks; paper: 92%% at 70 monitors, >99%% at 150\n", out.UsablePairs)
+	fmt.Fprintf(bc.out, "# %d effective attacks; paper: 92%% at 70 monitors, >99%% at 150\n", out.UsablePairs)
 	return nil
 }
 
-func runFig14(ctx *benchContext) error {
-	out, err := ctx.detection()
+func runFig14(bc *benchContext) error {
+	out, err := bc.detection()
 	if err != nil {
 		return err
 	}
@@ -565,11 +585,11 @@ func runFig14(ctx *benchContext) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(ctx.out, "frac_polluted_before_detection\tcdf")
+	fmt.Fprintln(bc.out, "frac_polluted_before_detection\tcdf")
 	for _, p := range cdf.Points() {
-		fmt.Fprintf(ctx.out, "%.4f\t%.4f\n", p.X, p.Y)
+		fmt.Fprintf(bc.out, "%.4f\t%.4f\n", p.X, p.Y)
 	}
-	fmt.Fprintf(ctx.out,
+	fmt.Fprintf(bc.out,
 		"# %d of %d attacks detected by the coverage-matched monitor set; 80th percentile: %.2f (paper: 80%% of runs below ~0.37)\n",
 		len(detected), len(out.PollutedBeforeDetection), cdf.Quantile(0.8))
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {
 			var sb strings.Builder
-			err := run([]string{"-exp", tt.exp, "-n", "400", "-pairs", "20"}, &sb)
+			err := run(context.Background(), []string{"-exp", tt.exp, "-n", "400", "-pairs", "20"}, &sb)
 			if err != nil {
 				t.Fatalf("run(%s): %v", tt.exp, err)
 			}
@@ -42,7 +43,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "all", "-n", "400", "-pairs", "15"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "all", "-n", "400", "-pairs", "15"}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	out := sb.String()
@@ -60,14 +61,14 @@ func TestRunAll(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig99"}, &sb); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunCommaList(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "fig9, fig12", "-n", "400"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig9, fig12", "-n", "400"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(sb.String(), "### fig9") || !strings.Contains(sb.String(), "### fig12") {
@@ -88,7 +89,7 @@ func TestRunExtensionExperiments(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run([]string{"-exp", tt.exp, "-n", "400"}, &sb); err != nil {
+			if err := run(context.Background(), []string{"-exp", tt.exp, "-n", "400"}, &sb); err != nil {
 				t.Fatalf("run(%s): %v", tt.exp, err)
 			}
 			if !strings.Contains(sb.String(), tt.want) {
@@ -100,7 +101,7 @@ func TestRunExtensionExperiments(t *testing.T) {
 
 func TestRunSusceptibility(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "susceptibility", "-n", "400"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "susceptibility", "-n", "400"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(sb.String(), "victim_tier") {
@@ -111,7 +112,7 @@ func TestRunSusceptibility(t *testing.T) {
 func TestRunOutDir(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-exp", "fig9,fig12", "-n", "400", "-out", dir}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig9,fig12", "-n", "400", "-out", dir}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, name := range []string{"fig9.tsv", "fig12.tsv"} {

@@ -10,11 +10,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"aspp"
 	"aspp/internal/bgp"
@@ -24,13 +28,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels between the expensive stages (topology
+	// generation, simulation, stream writing); a second signal kills the
+	// process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "asppsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "asppsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asppsim", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 4000, "generated topology size")
@@ -54,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	g := internet.Graph()
 
 	v, err := resolveAS(*victim, func() (aspp.ASN, error) {
@@ -69,6 +85,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("attacker: %w", err)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	im, err := internet.SimulateAttack(aspp.Scenario{
 		Victim:            v,
 		Attacker:          m,

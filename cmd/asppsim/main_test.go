@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunAutoPair(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-n", "400", "-lambda", "3"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-n", "400", "-lambda", "3"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -29,7 +30,7 @@ func TestRunExplicitPairAndViolate(t *testing.T) {
 	if err := os.WriteFile(path, []byte(rels), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run([]string{"-topo", path, "-victim", "100", "-attacker", "40",
+	err := run(context.Background(), []string{"-topo", path, "-victim", "100", "-attacker", "40",
 		"-lambda", "4", "-violate"}, &sb)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -41,13 +42,13 @@ func TestRunExplicitPairAndViolate(t *testing.T) {
 
 func TestRunBadInputs(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-victim", "bogus"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-victim", "bogus"}, &sb); err == nil {
 		t.Error("bad victim accepted")
 	}
-	if err := run([]string{"-topo", "/nonexistent/file"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-topo", "/nonexistent/file"}, &sb); err == nil {
 		t.Error("missing topo file accepted")
 	}
-	if err := run([]string{"-n", "400", "-lambda", "0"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-n", "400", "-lambda", "0"}, &sb); err == nil {
 		t.Error("λ=0 accepted")
 	}
 }
@@ -56,7 +57,7 @@ func TestRunUpdatesOut(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "updates.log")
 	var sb strings.Builder
-	err := run([]string{"-n", "400", "-lambda", "3", "-updates-out", path, "-monitors", "40"}, &sb)
+	err := run(context.Background(), []string{"-n", "400", "-lambda", "3", "-updates-out", path, "-monitors", "40"}, &sb)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -1,0 +1,95 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// FuzzPathCodec throws arbitrary bytes at every decoder in the package and
+// asserts the codec contract: a decoder either rejects the input with an
+// error or accepts it — and an accepted value must survive an
+// encode→decode round trip identically. Nothing may panic.
+//
+// Run with: go test -run=^$ -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+func FuzzPathCodec(f *testing.F) {
+	// Text updates, withdrawals, junk, and path-only seeds.
+	f.Add([]byte("A|12|AS7018|69.171.224.0/20|4134 9318 32934 32934 32934"))
+	f.Add([]byte("A|1|100|10.0.0.0/16|100 200 300 300"))
+	f.Add([]byte("W|9|AS4134|69.171.224.0/20"))
+	f.Add([]byte("A|0|AS1|::/0|1"))
+	f.Add([]byte("7018 3356 32934 32934"))
+	f.Add([]byte("A|x|AS1|10.0.0.0/8|1"))
+	f.Add([]byte{})
+	// A valid binary announce record, built by the same encoder under test.
+	var bin bytes.Buffer
+	seed := Update{
+		Type: Announce, Time: 7, Monitor: 7018,
+		Prefix: mustPrefix("69.171.224.0/20"),
+		Path:   Path{4134, 9318, 32934, 32934},
+	}
+	if err := WriteUpdateBinary(&bin, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add([]byte{0xA5, 0xBB})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Binary codec: decode → encode → decode must be a fixed point.
+		if u, err := ReadUpdateBinary(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteUpdateBinary(&buf, u); err != nil {
+				t.Fatalf("re-encode of accepted binary update failed: %v\nupdate: %s", err, u)
+			}
+			u2, err := ReadUpdateBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("decode of re-encoded binary update failed: %v\nupdate: %s", err, u)
+			}
+			assertUpdateEqual(t, "binary", u, u2)
+		} else if !errors.Is(err, ErrBadRecord) && !errors.Is(err, io.EOF) {
+			t.Fatalf("binary decode error is neither ErrBadRecord nor EOF: %v", err)
+		}
+
+		// Text codec: same contract, via the string form.
+		if u, err := ParseUpdateText(string(data)); err == nil {
+			u2, err := ParseUpdateText(u.String())
+			if err != nil {
+				t.Fatalf("re-parse of accepted text update failed: %v\nline: %q", err, u.String())
+			}
+			assertUpdateEqual(t, "text", u, u2)
+		}
+
+		// Bare path parser: accepted paths re-render and re-parse identically,
+		// and the path helpers tolerate whatever got accepted.
+		if p, err := ParsePath(string(data)); err == nil {
+			q, err := ParsePath(p.String())
+			if err != nil {
+				t.Fatalf("re-parse of accepted path failed: %v\npath: %q", err, p.String())
+			}
+			if !p.Equal(q) {
+				t.Fatalf("path round trip diverged: %v vs %v", p, q)
+			}
+			if got := p.StripOriginPrepend(0).OriginPrepend(); got != 1 {
+				t.Fatalf("StripOriginPrepend(0) left %d origin copies, want 1", got)
+			}
+			if p.Unique().HasPrepending() {
+				t.Fatalf("Unique() left prepending in %v", p.Unique())
+			}
+			_ = p.TransitSegment()
+			_ = p.HasLoop()
+			_ = p.Runs()
+		}
+	})
+}
+
+func assertUpdateEqual(t *testing.T, codec string, a, b Update) {
+	t.Helper()
+	if a.Type != b.Type || a.Time != b.Time || a.Monitor != b.Monitor ||
+		a.Prefix != b.Prefix || !a.Path.Equal(b.Path) {
+		t.Fatalf("%s round trip diverged:\n  first:  %s\n  second: %s", codec, a, b)
+	}
+}

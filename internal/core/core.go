@@ -214,20 +214,40 @@ func simulateReference(g *topology.Graph, ann routing.Announcement, sc Scenario)
 // never learns the victim's route. Topologies with sibling links are
 // routed by the message-level Reference engine automatically.
 func Simulate(g *topology.Graph, sc Scenario) (*Impact, error) {
+	return SimulateWithBaseline(g, sc, nil)
+}
+
+// SimulateWithBaseline is Simulate with an optional precomputed no-attack
+// baseline for the scenario's announcement (as produced by BaselineOnly,
+// or experiment's per-(origin, λ) cache). The baseline is used read-only
+// and may be shared across concurrent simulations; it MUST match the
+// scenario's announcement exactly (same origin, λ, per-neighbor prepends
+// and withholds) — callers own that invariant. Pass nil to compute it.
+func SimulateWithBaseline(g *topology.Graph, sc Scenario, baseline *routing.Result) (*Impact, error) {
 	if sc.Victim == sc.Attacker {
 		return nil, errors.New("core: victim and attacker must differ")
 	}
 	ann := sc.announcement()
 	var (
-		baseline, attacked *routing.Result
-		err                error
+		attacked *routing.Result
+		err      error
 	)
 	if g.HasSiblings() {
-		baseline, attacked, err = simulateReference(g, ann, sc)
+		if baseline == nil {
+			baseline, attacked, err = simulateReference(g, ann, sc)
+		} else {
+			if !baseline.Reachable(sc.Attacker) {
+				return nil, ErrAttackerSeesNoRoute
+			}
+			atk := sc.attacker()
+			attacked, err = routing.PropagateReference(g, ann, &atk)
+		}
 	} else {
-		baseline, err = routing.Propagate(g, ann)
-		if err != nil {
-			return nil, fmt.Errorf("core: baseline: %w", err)
+		if baseline == nil {
+			baseline, err = routing.Propagate(g, ann)
+			if err != nil {
+				return nil, fmt.Errorf("core: baseline: %w", err)
+			}
 		}
 		attacked, err = routing.PropagateAttack(g, ann, sc.attacker(), baseline)
 	}
@@ -244,19 +264,83 @@ func Simulate(g *topology.Graph, sc Scenario) (*Impact, error) {
 		attacked: attacked,
 		viaBase:  baseline.ViaSet(sc.Attacker),
 	}
+	countPollution(g, sc, baseline, attacked, im.viaBase,
+		&im.Eligible, &im.PollutedBefore, &im.PollutedAfter)
+	return im, nil
+}
+
+// Counts is the value-only pollution summary of one attack: what Impact
+// reports, without retaining the routing results. The sweep drivers use it
+// with reusable scratch state so a pair sweep does not allocate per
+// instance.
+type Counts struct {
+	// Eligible, PollutedBefore, PollutedAfter: as in Impact.
+	Eligible       int
+	PollutedBefore int
+	PollutedAfter  int
+}
+
+// Before returns the pre-attack polluted fraction.
+func (c Counts) Before() float64 { return frac(c.PollutedBefore, c.Eligible) }
+
+// After returns the under-attack polluted fraction.
+func (c Counts) After() float64 { return frac(c.PollutedAfter, c.Eligible) }
+
+// SimulateCounts runs one interception attack on the allocation-free path:
+// propagation state and the transient routing results are borrowed from s
+// (one Scratch per goroutine — see the routing.Scratch ownership
+// contract), and only the pollution counts survive the call. baseline is
+// optional exactly as in SimulateWithBaseline. Sibling-bearing topologies
+// fall back to the message-level engine, which allocates.
+func SimulateCounts(g *topology.Graph, sc Scenario, baseline *routing.Result, s *routing.Scratch) (Counts, error) {
+	if g.HasSiblings() || s == nil {
+		im, err := SimulateWithBaseline(g, sc, baseline)
+		if err != nil {
+			return Counts{}, err
+		}
+		return Counts{Eligible: im.Eligible, PollutedBefore: im.PollutedBefore, PollutedAfter: im.PollutedAfter}, nil
+	}
+	if sc.Victim == sc.Attacker {
+		return Counts{}, errors.New("core: victim and attacker must differ")
+	}
+	ann := sc.announcement()
+	var err error
+	if baseline == nil {
+		baseline, err = routing.PropagateScratch(g, ann, s)
+		if err != nil {
+			return Counts{}, fmt.Errorf("core: baseline: %w", err)
+		}
+	}
+	attacked, err := routing.PropagateAttackScratch(g, ann, sc.attacker(), baseline, s)
+	if errors.Is(err, routing.ErrUnreachableAttacker) {
+		return Counts{}, ErrAttackerSeesNoRoute
+	}
+	if err != nil {
+		return Counts{}, fmt.Errorf("core: attack: %w", err)
+	}
+	via, state, stack := s.ViaBuffers(g)
+	viaBase := baseline.ViaSetInto(sc.Attacker, via, state, stack)
+	var c Counts
+	countPollution(g, sc, baseline, attacked, viaBase,
+		&c.Eligible, &c.PollutedBefore, &c.PollutedAfter)
+	return c, nil
+}
+
+// countPollution tallies the three pollution counters shared by Impact and
+// Counts.
+func countPollution(g *topology.Graph, sc Scenario, baseline, attacked *routing.Result, viaBase []bool, eligible, before, after *int) {
 	vIdx := mustIdx(g, sc.Victim)
 	aIdx := mustIdx(g, sc.Attacker)
 	for i := int32(0); i < int32(g.NumASes()); i++ {
 		if i == vIdx || i == aIdx || !baseline.ReachableIdx(i) {
 			continue
 		}
-		im.Eligible++
-		if im.viaBase[i] {
-			im.PollutedBefore++
+		*eligible++
+		if viaBase[i] {
+			*before++
 		}
 		if attacked.Via[i] {
-			im.PollutedAfter++
+			*after++
 		}
 	}
-	return im, nil
 }

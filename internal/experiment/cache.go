@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"sync"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// BaselineCache memoizes no-attack baseline propagations keyed by
+// (origin, λ). The sweep drivers draw many attacker/victim pairs from a
+// small pool, so the same victim announcement is re-propagated over and
+// over; the cache computes each baseline exactly once and shares the
+// Result read-only across workers.
+//
+// Invalidation rule: there is none. A cache is bound to one immutable
+// Graph for its whole lifetime — entries can never go stale because
+// neither the topology nor an entry's (origin, λ) announcement can
+// change. Never reuse a cache across graphs; build a new one per sweep
+// (they are cheap: an empty map).
+//
+// The cached Results are shared: callers must treat them as read-only and
+// must not attach them to anything that mutates them (attack propagation
+// writes only to its own result slot, so SimulateWithBaseline and
+// SimulateCounts are safe consumers).
+//
+// Only plain scenarios are cacheable: the key cannot represent
+// per-neighbor prepending or withheld sessions, so callers with such
+// scenarios must bypass the cache (pass a nil baseline downstream).
+type BaselineCache struct {
+	g  *topology.Graph
+	mu sync.Mutex
+	m  map[baselineKey]*baselineEntry
+}
+
+type baselineKey struct {
+	origin bgp.ASN
+	lambda int
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  *routing.Result
+	err  error
+}
+
+// NewBaselineCache returns an empty cache bound to g.
+func NewBaselineCache(g *topology.Graph) *BaselineCache {
+	return &BaselineCache{g: g, m: make(map[baselineKey]*baselineEntry)}
+}
+
+// Get returns the no-attack baseline for origin announcing with λ = lambda
+// uniformly to all neighbors, computing it on first request. Concurrent
+// callers for the same key block until the single computation finishes and
+// then share one Result. Errors are memoized too: a victim whose
+// announcement fails to validate fails identically on every retry.
+func (c *BaselineCache) Get(origin bgp.ASN, lambda int) (*routing.Result, error) {
+	key := baselineKey{origin: origin, lambda: lambda}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &baselineEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = core.BaselineOnly(c.g, core.Scenario{
+			Victim:  origin,
+			Prepend: lambda,
+			// Attacker is irrelevant to the baseline; left zero.
+		})
+	})
+	return e.res, e.err
+}
+
+// Len reports how many distinct baselines have been requested.
+func (c *BaselineCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,14 @@ func DefaultCompareConfig() CompareConfig {
 // paper's claim that ASPP interception evades MOAS and fake-link
 // detection while remaining catchable by prepend-consistency checking.
 func CompareAttackTypes(g *topology.Graph, cfg CompareConfig) ([]AttackComparison, error) {
+	return CompareAttackTypesCtx(context.Background(), g, cfg)
+}
+
+// CompareAttackTypesCtx is CompareAttackTypes with cooperative
+// cancellation, checked in every simulation fan-out. Baselines for the
+// ASPP family are memoized per victim in a BaselineCache. Returns
+// (nil, ctx.Err()) when cancelled.
+func CompareAttackTypesCtx(ctx context.Context, g *topology.Graph, cfg CompareConfig) ([]AttackComparison, error) {
 	if cfg.Pairs <= 0 || cfg.Prepend < 2 || cfg.Monitors <= 0 {
 		return nil, errors.New("experiment: bad comparison config")
 	}
@@ -66,18 +75,26 @@ func CompareAttackTypes(g *topology.Graph, cfg CompareConfig) ([]AttackCompariso
 			candidates = append(candidates, pair{v, m})
 		}
 	}
-	aspp := parallel.Map(len(candidates), cfg.Workers, func(i int) *core.Impact {
-		im, err := core.Simulate(g, core.Scenario{
+	cache := NewBaselineCache(g)
+	aspp, cerr := parallel.MapCtx(ctx, len(candidates), cfg.Workers, func(i int) *core.Impact {
+		base, err := cache.Get(candidates[i].v, cfg.Prepend)
+		if err != nil {
+			return nil
+		}
+		im, err := core.SimulateWithBaseline(g, core.Scenario{
 			Victim:            candidates[i].v,
 			Attacker:          candidates[i].m,
 			Prepend:           cfg.Prepend,
 			ViolateValleyFree: true,
-		})
+		}, base)
 		if err != nil || len(im.NewlyPolluted()) == 0 {
 			return nil
 		}
 		return im
 	})
+	if cerr != nil {
+		return nil, fmt.Errorf("experiment: comparison sweep cancelled: %w", cerr)
+	}
 	var impacts []*core.Impact
 	for i, im := range aspp {
 		if im != nil {
@@ -114,13 +131,16 @@ func CompareAttackTypes(g *topology.Graph, cfg CompareConfig) ([]AttackCompariso
 
 	// The two forged-announcement baselines.
 	for _, typ := range []core.AttackType{core.AttackOriginHijack, core.AttackNextHopInterception} {
-		results := parallel.Map(len(pairs), cfg.Workers, func(i int) *core.BaselineImpact {
+		results, cerr := parallel.MapCtx(ctx, len(pairs), cfg.Workers, func(i int) *core.BaselineImpact {
 			bi, err := core.SimulateBaseline(g, typ, pairs[i].v, pairs[i].m, cfg.Prepend)
 			if err != nil {
 				return nil
 			}
 			return bi
 		})
+		if cerr != nil {
+			return nil, fmt.Errorf("experiment: comparison sweep cancelled: %w", cerr)
+		}
 		cmp := AttackComparison{Type: typ}
 		for _, bi := range results {
 			if bi == nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -92,6 +93,16 @@ type DetectionOutcome struct {
 // RunDetection simulates cfg.Pairs random interception attacks once, then
 // evaluates the detection algorithm under every monitor-set size.
 func RunDetection(g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, error) {
+	return RunDetectionCtx(context.Background(), g, cfg)
+}
+
+// RunDetectionCtx is RunDetection with cooperative cancellation, checked
+// between attack simulation and every per-monitor-count evaluation pass.
+// Detection needs the full Impact (monitor paths), so the attack results
+// are freshly allocated — but the per-victim baselines are still memoized
+// in a BaselineCache and shared read-only. Returns (nil, ctx.Err()) when
+// cancelled.
+func RunDetectionCtx(ctx context.Context, g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, error) {
 	if len(cfg.MonitorCounts) == 0 || cfg.Pairs <= 0 {
 		return nil, errors.New("experiment: empty detection config")
 	}
@@ -116,18 +127,26 @@ func RunDetection(g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, er
 			candidates = append(candidates, pair{v, m})
 		}
 	}
-	impacts := parallel.Map(len(candidates), cfg.Workers, func(i int) *core.Impact {
-		im, err := core.Simulate(g, core.Scenario{
+	cache := NewBaselineCache(g)
+	impacts, cerr := parallel.MapCtx(ctx, len(candidates), cfg.Workers, func(i int) *core.Impact {
+		base, err := cache.Get(candidates[i].v, cfg.Prepend)
+		if err != nil {
+			return nil
+		}
+		im, err := core.SimulateWithBaseline(g, core.Scenario{
 			Victim:            candidates[i].v,
 			Attacker:          candidates[i].m,
 			Prepend:           cfg.Prepend,
 			ViolateValleyFree: cfg.Violate,
-		})
+		}, base)
 		if err != nil {
 			return nil
 		}
 		return im
 	})
+	if cerr != nil {
+		return nil, fmt.Errorf("experiment: detection sweep cancelled: %w", cerr)
+	}
 	// Usable attacks must actually capture someone: an attack that
 	// changes no routes is a no-op — unobservable and harmless — and
 	// would only dilute the accuracy denominator.
@@ -158,9 +177,12 @@ func RunDetection(g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, er
 		if err != nil {
 			return nil, err
 		}
-		evals := parallel.Map(len(usable), cfg.Workers, func(i int) detect.EvalResult {
+		evals, cerr := parallel.MapCtx(ctx, len(usable), cfg.Workers, func(i int) detect.EvalResult {
 			return detect.Evaluate(usable[i], monitors, rels)
 		})
+		if cerr != nil {
+			return nil, fmt.Errorf("experiment: detection evaluation cancelled: %w", cerr)
+		}
 		pt := AccuracyPoint{Monitors: d}
 		for _, ev := range evals {
 			if ev.Detected {
@@ -194,9 +216,12 @@ func RunDetection(g *topology.Graph, cfg DetectionConfig) (*DetectionOutcome, er
 		if err != nil {
 			return nil, err
 		}
-		evals := parallel.Map(len(usable), cfg.Workers, func(i int) detect.EvalResult {
+		evals, cerr := parallel.MapCtx(ctx, len(usable), cfg.Workers, func(i int) detect.EvalResult {
 			return detect.Evaluate(usable[i], monitors, rels)
 		})
+		if cerr != nil {
+			return nil, fmt.Errorf("experiment: latency evaluation cancelled: %w", cerr)
+		}
 		out.PollutedBeforeDetection = make([]float64, len(evals))
 		out.LatencyDetected = make([]bool, len(evals))
 		for i, ev := range evals {

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/parallel"
+	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
 
@@ -54,6 +56,16 @@ type PairConfig struct {
 // presentation). Pairs where the attacker never receives the route are
 // redrawn, up to a generous retry budget.
 func SamplePairs(g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
+	return SamplePairsCtx(context.Background(), g, cfg)
+}
+
+// SamplePairsCtx is SamplePairs with cooperative cancellation. The sweep
+// runs on the allocation-free path: each worker owns one routing.Scratch
+// for its whole share of the instances, and baselines are memoized per
+// (victim, λ) in a BaselineCache shared read-only across workers. On
+// cancellation it returns (nil, ctx.Err()): in-flight instances drain
+// deterministically but no partial ranking is produced.
+func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
 	if cfg.N <= 0 {
 		return nil, errors.New("experiment: N must be positive")
 	}
@@ -97,26 +109,35 @@ func SamplePairs(g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
 		}
 	}
 
-	results := parallel.Map(len(candidates), cfg.Workers, func(i int) *PairImpact {
-		p := candidates[i]
-		im, err := core.Simulate(g, core.Scenario{
-			Victim:            p.v,
-			Attacker:          p.m,
-			Prepend:           cfg.Prepend,
-			ViolateValleyFree: cfg.Violate,
+	cache := NewBaselineCache(g)
+	results, cerr := parallel.MapScratch(ctx, len(candidates), cfg.Workers, routing.NewScratch,
+		func(s *routing.Scratch, i int) *PairImpact {
+			p := candidates[i]
+			base, err := cache.Get(p.v, cfg.Prepend)
+			if err != nil {
+				return nil
+			}
+			c, err := core.SimulateCounts(g, core.Scenario{
+				Victim:            p.v,
+				Attacker:          p.m,
+				Prepend:           cfg.Prepend,
+				ViolateValleyFree: cfg.Violate,
+			}, base, s)
+			if err != nil {
+				return nil // unreachable attacker etc.: skip this draw
+			}
+			return &PairImpact{
+				Victim:     p.v,
+				Attacker:   p.m,
+				VictimTier: g.Tier(p.v),
+				AttackTier: g.Tier(p.m),
+				Before:     c.Before(),
+				After:      c.After(),
+			}
 		})
-		if err != nil {
-			return nil // unreachable attacker etc.: skip this draw
-		}
-		return &PairImpact{
-			Victim:     p.v,
-			Attacker:   p.m,
-			VictimTier: g.Tier(p.v),
-			AttackTier: g.Tier(p.m),
-			Before:     im.Before(),
-			After:      im.After(),
-		}
-	})
+	if cerr != nil {
+		return nil, fmt.Errorf("experiment: pair sweep cancelled: %w", cerr)
+	}
 	out := make([]PairImpact, 0, cfg.N)
 	for _, r := range results {
 		if r == nil {
@@ -152,23 +173,36 @@ type SweepPoint struct {
 // SweepPrepend simulates one victim/attacker pair for λ = 1..maxLambda
 // (paper Figs. 9-12). Steps run concurrently; results are index-ordered.
 func SweepPrepend(g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int) ([]SweepPoint, error) {
+	return SweepPrependCtx(context.Background(), g, victim, attacker, maxLambda, violate, workers)
+}
+
+// SweepPrependCtx is SweepPrepend with cooperative cancellation, running
+// each λ step on a worker-owned routing.Scratch. λ varies per step, so
+// there is no baseline sharing here — each step propagates its own
+// baseline into its worker's scratch. Returns (nil, ctx.Err()) when
+// cancelled.
+func SweepPrependCtx(ctx context.Context, g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int) ([]SweepPoint, error) {
 	if maxLambda < 1 {
 		return nil, errors.New("experiment: maxLambda must be >= 1")
 	}
 	errs := make([]error, maxLambda)
-	points := parallel.Map(maxLambda, workers, func(i int) SweepPoint {
-		im, err := core.Simulate(g, core.Scenario{
-			Victim:            victim,
-			Attacker:          attacker,
-			Prepend:           i + 1,
-			ViolateValleyFree: violate,
+	points, cerr := parallel.MapScratch(ctx, maxLambda, workers, routing.NewScratch,
+		func(s *routing.Scratch, i int) SweepPoint {
+			c, err := core.SimulateCounts(g, core.Scenario{
+				Victim:            victim,
+				Attacker:          attacker,
+				Prepend:           i + 1,
+				ViolateValleyFree: violate,
+			}, nil, s)
+			if err != nil {
+				errs[i] = err
+				return SweepPoint{Lambda: i + 1}
+			}
+			return SweepPoint{Lambda: i + 1, Before: c.Before(), After: c.After()}
 		})
-		if err != nil {
-			errs[i] = err
-			return SweepPoint{Lambda: i + 1}
-		}
-		return SweepPoint{Lambda: i + 1, Before: im.Before(), After: im.After()}
-	})
+	if cerr != nil {
+		return nil, fmt.Errorf("experiment: sweep %v/%v cancelled: %w", victim, attacker, cerr)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: sweep %v/%v: %w", victim, attacker, err)

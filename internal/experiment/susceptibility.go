@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/parallel"
+	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
 
@@ -55,6 +57,14 @@ func DefaultSusceptibilityConfig() SusceptibilityConfig {
 // resilient; attackers closer to the core prove more effective — the
 // paper's §VI-B findings.
 func SusceptibilityMatrix(g *topology.Graph, cfg SusceptibilityConfig) ([]TierCell, error) {
+	return SusceptibilityMatrixCtx(context.Background(), g, cfg)
+}
+
+// SusceptibilityMatrixCtx is SusceptibilityMatrix with cooperative
+// cancellation, running on worker-owned routing.Scratch state with
+// (victim, λ) baselines memoized in a shared BaselineCache (victims repeat
+// heavily across cells). Returns (nil, ctx.Err()) when cancelled.
+func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg SusceptibilityConfig) ([]TierCell, error) {
 	if cfg.PairsPerCell <= 0 || cfg.MaxTier < 2 || cfg.Prepend < 1 {
 		return nil, errors.New("experiment: bad susceptibility config")
 	}
@@ -95,18 +105,27 @@ func SusceptibilityMatrix(g *topology.Graph, cfg SusceptibilityConfig) ([]TierCe
 			}
 		}
 	}
-	fractions := parallel.Map(len(jobs), cfg.Workers, func(i int) float64 {
-		im, err := core.Simulate(g, core.Scenario{
-			Victim:            jobs[i].v,
-			Attacker:          jobs[i].m,
-			Prepend:           cfg.Prepend,
-			ViolateValleyFree: cfg.Violate,
+	cache := NewBaselineCache(g)
+	fractions, cerr := parallel.MapScratch(ctx, len(jobs), cfg.Workers, routing.NewScratch,
+		func(s *routing.Scratch, i int) float64 {
+			base, err := cache.Get(jobs[i].v, cfg.Prepend)
+			if err != nil {
+				return -1
+			}
+			c, err := core.SimulateCounts(g, core.Scenario{
+				Victim:            jobs[i].v,
+				Attacker:          jobs[i].m,
+				Prepend:           cfg.Prepend,
+				ViolateValleyFree: cfg.Violate,
+			}, base, s)
+			if err != nil {
+				return -1
+			}
+			return c.After()
 		})
-		if err != nil {
-			return -1
-		}
-		return im.After()
-	})
+	if cerr != nil {
+		return nil, fmt.Errorf("experiment: susceptibility sweep cancelled: %w", cerr)
+	}
 
 	cells := make(map[[2]int]*TierCell)
 	for i, f := range fractions {

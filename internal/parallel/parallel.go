@@ -1,9 +1,11 @@
-// Package parallel provides the bounded fan-out helper the experiment
+// Package parallel provides the bounded fan-out helpers the experiment
 // drivers use to simulate many attacker/victim pairs and many prefixes
-// concurrently, with deterministic, index-addressed result merging.
+// concurrently, with deterministic, index-addressed result merging,
+// cooperative cancellation, and per-worker reusable state.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -14,8 +16,52 @@ import (
 // index-addressed storage by the callers (out[i] = ...), which keeps the
 // merge deterministic regardless of scheduling.
 func ForEach(n, workers int, fn func(i int)) {
+	_ = ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// Map runs fn over [0, n) with bounded fan-out and collects the results
+// in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), n, workers, fn)
+	return out
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// cancelled no new index is dispatched, in-flight calls drain to
+// completion, and the first non-nil ctx.Err() is returned. Indices are
+// dispatched strictly in order, so on early exit the set of processed
+// indices is exactly [0, k) for some k — callers that collect into
+// index-addressed storage can treat a non-nil error as "a prefix of the
+// work is done, the tail is untouched zero values".
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForEachScratch(ctx, n, workers,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) { fn(i) })
+}
+
+// MapCtx runs fn over [0, n) with bounded fan-out and cancellation,
+// collecting results in index order. The returned slice always has n
+// entries; when err is non-nil only a prefix was computed and the rest
+// hold zero values.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, err
+}
+
+// ForEachScratch is ForEachCtx with per-worker reusable state: every
+// worker goroutine calls newState once and passes its state to each fn
+// call it executes, so a sweep worker reuses one routing.Scratch (or any
+// other scratch object) across its whole share of the work. fn never sees
+// a state concurrently with another call using the same state.
+func ForEachScratch[S any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,37 +70,48 @@ func ForEach(n, workers int, fn func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		st := newState()
 		for i := 0; i < n; i++ {
-			fn(i)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(st, i)
 		}
-		return
+		return ctx.Err()
 	}
 	var (
 		wg   sync.WaitGroup
 		next = make(chan int)
+		done = ctx.Done()
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			st := newState()
 			for i := range next {
-				fn(i)
+				fn(st, i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
-// Map runs fn over [0, n) with bounded fan-out and collects the results
-// in index order.
-func Map[T any](n, workers int, fn func(i int) T) []T {
+// MapScratch is MapCtx with per-worker reusable state (see ForEachScratch).
+func MapScratch[S, T any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int) T) ([]T, error) {
 	out := make([]T, n)
-	ForEach(n, workers, func(i int) {
-		out[i] = fn(i)
+	err := ForEachScratch(ctx, n, workers, newState, func(st S, i int) {
+		out[i] = fn(st, i)
 	})
-	return out
+	return out, err
 }

@@ -166,8 +166,12 @@ func checkValleyFree(t *testing.T, g *topology.Graph, path bgp.Path, holder bgp.
 			return
 		}
 		if step == stepPeer && phase == stepPeer {
-			t.Errorf("%s: %v: two peer hops in path %v", label, holder, path)
-			return
+			// A violating attacker may also re-export a peer-learned
+			// route to another peer.
+			if atk == nil || !atk.ViolateValleyFree || from != atk.AS {
+				t.Errorf("%s: %v: two peer hops in path %v", label, holder, path)
+				return
+			}
 		}
 		phase = step
 	}
@@ -233,6 +237,144 @@ func TestEnginesAgreeUnderAttack(t *testing.T) {
 	if attacks < 20 {
 		t.Fatalf("only %d usable attack trials, want >= 20", attacks)
 	}
+}
+
+// TestEnginesAgreeThroughScratchReuse is the differential test for the
+// allocation-free path: one Scratch is shared across every trial and runs
+// four consecutive propagations per trial (baseline, valley-free attack,
+// violating attack, plain baseline for the multi-seed check), and each
+// Scratch-owned result must equal the Reference engine's answer — and the
+// fresh-allocation Fast path's — before the slot is reused. Well over 200
+// randomized scenarios in total, asserted at the end.
+func TestEnginesAgreeThroughScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	s := NewScratch()
+	scenarios := 0
+	for trial := 0; trial < 60; trial++ {
+		g, ann, atk := randomScenario(t, rng)
+		label := fmt.Sprintf("trial %d (V=%v M=%v λ=%d keep=%d)",
+			trial, ann.Origin, atk.AS, ann.Prepend, atk.KeepPrepend)
+
+		// Propagation 1: no-attack baseline into the scratch's base slot.
+		base, err := PropagateScratch(g, ann, s)
+		if err != nil {
+			t.Fatalf("%s: PropagateScratch: %v", label, err)
+		}
+		fresh, err := Propagate(g, ann)
+		if err != nil {
+			t.Fatalf("%s: Propagate: %v", label, err)
+		}
+		ref, err := PropagateReference(g, ann, nil)
+		if err != nil {
+			t.Fatalf("%s: PropagateReference: %v", label, err)
+		}
+		compareResults(t, g, base, fresh, label+" scratch-vs-fresh")
+		compareResults(t, g, base, ref, label+" scratch-vs-ref")
+		checkInvariants(t, g, base, ann, nil, label)
+		// The scratch-borrowed ViaSetInto walk must agree with the
+		// allocating ViaSet.
+		viaAlloc := base.ViaSet(atk.AS)
+		via, state, stack := s.ViaBuffers(g)
+		viaScratch := base.ViaSetInto(atk.AS, via, state, stack)
+		for i := range viaAlloc {
+			if viaAlloc[i] != viaScratch[i] {
+				t.Fatalf("%s: ViaSetInto diverges from ViaSet at index %d", label, i)
+			}
+		}
+		scenarios++
+
+		// Propagations 2+3: both attacker export modes reuse the attack
+		// slot, so each result is compared before the next call.
+		for _, violate := range []bool{false, true} {
+			a := atk
+			a.ViolateValleyFree = violate
+			alabel := fmt.Sprintf("%s violate=%v", label, violate)
+			atkRes, err := PropagateAttackScratch(g, ann, a, base, s)
+			if err == ErrUnreachableAttacker {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: PropagateAttackScratch: %v", alabel, err)
+			}
+			atkRef, err := PropagateReference(g, ann, &a)
+			if err != nil {
+				t.Fatalf("%s: PropagateReference: %v", alabel, err)
+			}
+			compareResults(t, g, atkRes, atkRef, alabel)
+			checkInvariants(t, g, atkRes, ann, &a, alabel)
+			scenarios++
+		}
+
+		// Propagation 4: a plain announcement (multi-seed can't express
+		// per-neighbor λ or withholds) reuses the base slot; its outcome
+		// must match single-seed multi propagation path-for-path.
+		plainAnn := Announcement{Origin: ann.Origin, Prepend: ann.Prepend}
+		plain, err := PropagateScratch(g, plainAnn, s)
+		if err != nil {
+			t.Fatalf("%s: PropagateScratch(plain): %v", label, err)
+		}
+		seedPath := make(bgp.Path, plainAnn.Prepend)
+		for i := range seedPath {
+			seedPath[i] = plainAnn.Origin
+		}
+		multi, err := PropagateSeeds(g, []Seed{{AS: plainAnn.Origin, Path: seedPath}})
+		if err != nil {
+			t.Fatalf("%s: PropagateSeeds: %v", label, err)
+		}
+		for _, asn := range g.ASNs() {
+			if asn == plainAnn.Origin {
+				continue
+			}
+			if got, want := multi.PathOf(asn), plain.PathOf(asn); !got.Equal(want) {
+				t.Fatalf("%s: multi-seed %v vs scratch %v at %v", label, got, want, asn)
+			}
+		}
+		scenarios++
+
+		if t.Failed() {
+			t.Fatalf("%s: stopping after first failing trial", label)
+		}
+	}
+	if scenarios < 200 {
+		t.Fatalf("only %d scenarios exercised, want >= 200", scenarios)
+	}
+}
+
+// TestScratchResultsDetachWithClone pins the ownership contract: a slot's
+// Result is overwritten by the next call on the same slot, and Clone
+// detaches a snapshot that survives.
+func TestScratchResultsDetachWithClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, ann, _ := randomScenario(t, rng)
+	s := NewScratch()
+
+	first, err := PropagateScratch(g, ann, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := first.Clone()
+	compareResults(t, g, first, snapshot, "clone")
+
+	// A different announcement through the same slot overwrites `first`.
+	other := Announcement{Origin: ann.Origin, Prepend: ann.Prepend + 3}
+	second, err := PropagateScratch(g, other, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("expected the base slot to be reused for the second call")
+	}
+	fresh, err := Propagate(g, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, second, fresh, "reused slot")
+	// The clone still holds the first outcome.
+	freshFirst, err := Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, snapshot, freshFirst, "detached clone")
 }
 
 func TestEnginesAgreeOnHandGraph(t *testing.T) {

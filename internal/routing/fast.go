@@ -15,6 +15,8 @@ type cand struct {
 }
 
 // fastState carries the per-class candidate tables of one propagation.
+// The tables are either freshly allocated or borrowed from a Scratch
+// (see scratch.go); fastState itself lives on the caller's stack.
 type fastState struct {
 	g      *topology.Graph
 	origin int32
@@ -32,16 +34,9 @@ type fastState struct {
 // Propagate computes the stable routing outcome for ann with no attacker.
 // Topologies with sibling links need the message-level engine
 // (PropagateReference), which the core package dispatches to automatically.
+// Sweeps should prefer PropagateScratch, which reuses per-call state.
 func Propagate(g *topology.Graph, ann Announcement) (*Result, error) {
-	if err := ann.Validate(g); err != nil {
-		return nil, err
-	}
-	if g.HasSiblings() {
-		return nil, ErrSiblingsNeedReference
-	}
-	st := newFastState(g, ann)
-	st.run()
-	return st.finish(), nil
+	return PropagateScratch(g, ann, nil)
 }
 
 // ErrSiblingsNeedReference reports that the three-phase engine cannot
@@ -55,70 +50,38 @@ var ErrSiblingsNeedReference = errors.New("routing: sibling links require the Re
 // route, which the attack provably cannot change (every bogus route
 // contains the attacker's path and is loop-rejected along it).
 // Returns ErrUnreachableAttacker if the attacker never receives the route.
+// Sweeps should prefer PropagateAttackScratch, which reuses per-call state.
 func PropagateAttack(g *topology.Graph, ann Announcement, atk Attacker, baseline *Result) (*Result, error) {
-	if err := ann.Validate(g); err != nil {
-		return nil, err
-	}
-	if err := atk.Validate(g, ann); err != nil {
-		return nil, err
-	}
-	if baseline == nil {
-		var err error
-		baseline, err = Propagate(g, ann)
-		if err != nil {
-			return nil, err
-		}
-	}
-	atkIdx, _ := g.Index(atk.AS)
-	if baseline.Class[atkIdx] == ClassNone {
-		return nil, ErrUnreachableAttacker
-	}
-
-	st := newFastState(g, ann)
-	st.atkIdx = atkIdx
-	st.keep = atk.keep()
-	st.violate = atk.ViolateValleyFree
-
-	// Loop rejection: every route that traverses the attacker carries the
-	// attacker's full (baseline) path as its suffix, so exactly the ASes on
-	// that path must reject it, as real BGP loop detection would.
-	st.reject = make([]bool, g.NumASes())
-	for j := baseline.Parent[atkIdx]; j != st.origin; j = baseline.Parent[j] {
-		st.reject[j] = true
-	}
-
-	if st.violate {
-		st.seedViolation(baseline)
-	}
-	st.run()
-	res := st.finish()
-	res.Via = make([]bool, g.NumASes())
-	for i := range res.Via {
-		if i32 := int32(i); i32 != st.origin && st.selected(i32).len >= 0 {
-			res.Via[i] = st.selected(i32).via
-		}
-	}
-	return res, nil
+	return PropagateAttackScratch(g, ann, atk, baseline, nil)
 }
 
-func newFastState(g *topology.Graph, ann Announcement) *fastState {
+// init prepares st for one propagation, borrowing tables from s when
+// non-nil and allocating fresh ones otherwise.
+func (st *fastState) init(g *topology.Graph, ann Announcement, s *Scratch) {
 	n := g.NumASes()
 	origin, _ := g.Index(ann.Origin)
-	st := &fastState{
-		g:      g,
-		origin: origin,
-		ann:    ann,
-		cust:   make([]cand, n),
-		peer:   make([]cand, n),
-		prov:   make([]cand, n),
-		atkIdx: -1,
+	st.g = g
+	st.origin = origin
+	st.ann = ann
+	st.atkIdx = -1
+	if s != nil {
+		s.grow(n)
+		s.resetTables(n)
+		st.cust = s.cust[:n]
+		st.peer = s.peer[:n]
+		st.prov = s.prov[:n]
+		st.reject = s.reject[:n]
+		return
 	}
+	st.cust = make([]cand, n)
+	st.peer = make([]cand, n)
+	st.prov = make([]cand, n)
+	st.reject = make([]bool, n)
 	for i := 0; i < n; i++ {
 		st.cust[i].len = -1
 		st.peer[i].len = -1
 		st.prov[i].len = -1
 	}
-	return st
 }
 
 // better reports whether a beats b under (length, lowest next-hop ASN).
@@ -138,7 +101,7 @@ func (st *fastState) consider(table []cand, at int32, c cand) {
 	if at == st.origin {
 		return // the origin never adopts a route to itself
 	}
-	if c.via && (at == st.atkIdx || (st.reject != nil && st.reject[at])) {
+	if c.via && (at == st.atkIdx || st.reject[at]) {
 		return // AS-path loop: the route already contains this AS
 	}
 	if st.better(c, table[at]) {
@@ -263,9 +226,8 @@ func (st *fastState) run() {
 	}
 }
 
-// finish converts candidate tables into a Result.
-func (st *fastState) finish() *Result {
-	res := newResult(st.g, st.origin)
+// finish converts candidate tables into res and returns it.
+func (st *fastState) finish(res *Result) *Result {
 	for i := int32(0); i < int32(st.g.NumASes()); i++ {
 		if i == st.origin {
 			continue

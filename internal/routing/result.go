@@ -46,6 +46,52 @@ func newResult(g *topology.Graph, origin int32) *Result {
 	return r
 }
 
+// resultInto resets r for a fresh outcome on g, reusing its slices when
+// they are large enough (the Scratch result slots rely on this to keep
+// repeated propagations allocation-free). Via is cleared to nil; attack
+// propagation reattaches its own storage.
+func resultInto(r *Result, g *topology.Graph, origin int32) *Result {
+	n := g.NumASes()
+	r.g = g
+	r.origin = origin
+	if cap(r.Class) < n {
+		r.Class = make([]Class, n)
+		r.Len = make([]int32, n)
+		r.Prep = make([]int16, n)
+		r.Parent = make([]int32, n)
+	}
+	r.Class = r.Class[:n]
+	r.Len = r.Len[:n]
+	r.Prep = r.Prep[:n]
+	r.Parent = r.Parent[:n]
+	r.Via = nil
+	for i := 0; i < n; i++ {
+		r.Class[i] = ClassNone
+		r.Len[i] = -1
+		r.Prep[i] = 0
+		r.Parent[i] = -1
+	}
+	r.Len[origin] = 0
+	return r
+}
+
+// Clone returns a deep copy of r, detaching it from any Scratch that owns
+// its storage (see PropagateScratch's ownership contract).
+func (r *Result) Clone() *Result {
+	out := &Result{
+		g:      r.g,
+		origin: r.origin,
+		Class:  append([]Class(nil), r.Class...),
+		Len:    append([]int32(nil), r.Len...),
+		Prep:   append([]int16(nil), r.Prep...),
+		Parent: append([]int32(nil), r.Parent...),
+	}
+	if r.Via != nil {
+		out.Via = append([]bool(nil), r.Via...)
+	}
+	return out
+}
+
 // Graph returns the topology the result was computed on.
 func (r *Result) Graph() *topology.Graph { return r.g }
 
@@ -119,20 +165,38 @@ func (r *Result) HopsToOrigin(asn bgp.ASN) int {
 // itself; the origin is never via anything). This is the pollution set of
 // the paper: every marked AS sends its traffic for the origin through asn.
 func (r *Result) ViaSet(asn bgp.ASN) []bool {
+	n := r.g.NumASes()
+	return r.ViaSetInto(asn, make([]bool, n), make([]uint8, n), nil)
+}
+
+// ViaSetInto is ViaSet writing into caller-provided storage: via and state
+// must each cover NumASes entries; stack is an optional spill buffer that
+// grows as needed (pass nil to allocate one). It returns via. The sweep
+// hot path calls it with Scratch-owned buffers (Scratch.ViaBuffers) to
+// avoid per-call allocation.
+func (r *Result) ViaSetInto(asn bgp.ASN, via []bool, state []uint8, stack []int32) []bool {
+	n := r.g.NumASes()
+	via = via[:n]
 	target, ok := r.g.Index(asn)
 	if !ok {
-		return make([]bool, r.g.NumASes())
+		for i := range via {
+			via[i] = false
+		}
+		return via
 	}
-	n := r.g.NumASes()
 	const (
 		unknown = 0
 		yes     = 1
 		no      = 2
 	)
-	state := make([]uint8, n)
+	state = state[:n]
+	for i := range state {
+		state[i] = unknown
+	}
 	state[r.origin] = no
-	via := make([]bool, n)
-	stack := make([]int32, 0, 32)
+	if stack == nil {
+		stack = make([]int32, 0, 32)
+	}
 	for i := int32(0); i < int32(n); i++ {
 		if state[i] != unknown {
 			via[i] = state[i] == yes
@@ -140,6 +204,7 @@ func (r *Result) ViaSet(asn bgp.ASN) []bool {
 		}
 		if r.Class[i] == ClassNone {
 			state[i] = no
+			via[i] = false
 			continue
 		}
 		// Walk up the parent chain until a decided node, then unwind.

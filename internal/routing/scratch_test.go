@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"testing"
+
+	"aspp/internal/topology"
+)
+
+// Sinks keep the compiler from eliding the propagation calls inside
+// testing.AllocsPerRun closures.
+var (
+	allocSinkResult *Result
+	allocSinkErr    error
+)
+
+// TestPropagateScratchZeroAlloc pins the allocation-free contract from the
+// Scratch doc comment: once a Scratch has been warmed on a graph, repeated
+// propagations — baseline and attack — must not touch the heap at all.
+func TestPropagateScratchZeroAlloc(t *testing.T) {
+	cfg := topology.DefaultGenConfig(800)
+	cfg.Seed = 13
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, attacker := g.Tier1s()[0], g.Tier1s()[1]
+	ann := Announcement{Origin: victim, Prepend: 3}
+	atk := Attacker{AS: attacker}
+
+	s := NewScratch()
+	base, err := PropagateScratch(g, ann, s) // warm every buffer once
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PropagateAttackScratch(g, ann, atk, base, s); err != nil {
+		t.Fatal(err)
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		allocSinkResult, allocSinkErr = PropagateScratch(g, ann, s)
+	}); avg != 0 {
+		t.Errorf("warmed PropagateScratch allocates %.1f objects per run, want 0", avg)
+	}
+	if allocSinkErr != nil {
+		t.Fatal(allocSinkErr)
+	}
+	base = allocSinkResult
+
+	if avg := testing.AllocsPerRun(20, func() {
+		allocSinkResult, allocSinkErr = PropagateAttackScratch(g, ann, atk, base, s)
+	}); avg != 0 {
+		t.Errorf("warmed PropagateAttackScratch allocates %.1f objects per run, want 0", avg)
+	}
+	if allocSinkErr != nil {
+		t.Fatal(allocSinkErr)
+	}
+
+	// The borrowed ViaSetInto walk is part of the sweep inner loop too.
+	if avg := testing.AllocsPerRun(20, func() {
+		via, state, stack := s.ViaBuffers(g)
+		base.ViaSetInto(atk.AS, via, state, stack)
+	}); avg != 0 {
+		t.Errorf("ViaSetInto with borrowed buffers allocates %.1f objects per run, want 0", avg)
+	}
+}
