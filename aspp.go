@@ -105,7 +105,22 @@ type (
 	SusceptibilityConfig = experiment.SusceptibilityConfig
 	// TierCell is one (victim tier, attacker tier) aggregate.
 	TierCell = experiment.TierCell
+	// EngineKind selects the attack-propagation engine for sweeps.
+	EngineKind = core.EngineKind
 )
+
+// Attack-propagation engine kinds (the asppbench -engine ablation).
+const (
+	// EngineAuto picks delta propagation when a baseline is available.
+	EngineAuto = core.EngineAuto
+	// EngineFull recomputes every attack from scratch.
+	EngineFull = core.EngineFull
+	// EngineDelta forces incremental recomputation of the attacker's cone.
+	EngineDelta = core.EngineDelta
+)
+
+// ParseEngineKind parses "auto", "full" or "delta".
+var ParseEngineKind = core.ParseEngineKind
 
 // Re-exported constructors and helpers.
 var (
@@ -284,6 +299,12 @@ func (in *Internet) SweepPrepend(victim, attacker ASN, maxLambda int, violate bo
 // SweepPrependCtx is SweepPrepend with cooperative cancellation.
 func (in *Internet) SweepPrependCtx(ctx context.Context, victim, attacker ASN, maxLambda int, violate bool) ([]SweepPoint, error) {
 	return experiment.SweepPrependCtx(ctx, in.g, victim, attacker, maxLambda, violate, 0)
+}
+
+// SweepPrependEngineCtx is SweepPrependCtx with an explicit engine choice
+// (full recomputation vs incremental delta propagation).
+func (in *Internet) SweepPrependEngineCtx(ctx context.Context, victim, attacker ASN, maxLambda int, violate bool, engine EngineKind) ([]SweepPoint, error) {
+	return experiment.SweepPrependEngineCtx(ctx, in.g, victim, attacker, maxLambda, violate, 0, engine)
 }
 
 // RunDetection evaluates the detection algorithm (paper Figs. 13-14).

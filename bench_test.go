@@ -373,6 +373,87 @@ func BenchmarkPropagateReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkDeltaVsFull is the attack-engine ablation at full paper scale
+// (n=4000), shaped like the sweep inner loops: λ = 1..8 attacks against
+// per-λ cached baselines on one warmed Scratch, by attackers drawn across
+// the tier mix the pair and susceptibility sweeps sample (a tier-1, the
+// content stub, a random multihomed stub). The full leg re-propagates the
+// whole topology per attack; the delta leg recomputes only the attacker's
+// cone, so its advantage tracks the cone size — moderate for a tier-1
+// attacker, large for the edge attackers that dominate the sampled
+// workloads. The acceptance bar is delta ≥2x faster than full with
+// 0 allocs/op once warmed.
+func BenchmarkDeltaVsFull(b *testing.B) {
+	cfg := topology.DefaultGenConfig(4000)
+	cfg.Seed = 9
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := g.Tier1s()[0]
+	contentStub, err := experiment.PickContentStub(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	randomStub, err := experiment.PickStub(g, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attackers := []routing.Attacker{
+		{AS: g.Tier1s()[1]},
+		{AS: contentStub},
+		{AS: randomStub},
+	}
+
+	// Per-λ baselines, cloned out of the scratch exactly as the sweep
+	// drivers' BaselineCache holds them.
+	const maxLambda = 8
+	anns := make([]routing.Announcement, maxLambda)
+	baselines := make([]*routing.Result, maxLambda)
+	s := routing.NewScratch()
+	for i := range anns {
+		anns[i] = routing.Announcement{Origin: victim, Prepend: i + 1}
+		base, err := routing.PropagateScratch(g, anns[i], s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baselines[i] = base.Clone()
+	}
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := routing.PropagateAttackScratch(g, anns[0], attackers[0], baselines[0], s); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, atk := range attackers {
+				for j := range anns {
+					if _, err := routing.PropagateAttackScratch(g, anns[j], atk, baselines[j], s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := routing.PropagateAttackDelta(g, anns[0], attackers[0], baselines[0], s); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, atk := range attackers {
+				for j := range anns {
+					if _, err := routing.PropagateAttackDelta(g, anns[j], atk, baselines[j], s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkPropagate measures one baseline route propagation.
 func BenchmarkPropagate(b *testing.B) {
 	in := benchInternet(b)

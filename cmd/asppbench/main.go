@@ -50,6 +50,7 @@ type benchContext struct {
 	internet *aspp.Internet
 	seed     int64
 	pairs    int
+	engine   aspp.EngineKind
 	out      io.Writer
 }
 
@@ -85,14 +86,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pairs  = fs.Int("pairs", 200, "attacker/victim pairs for the detection experiments")
 		topo   = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
 		outDir = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
+		engine = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engineKind, err := aspp.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
 
 	var internet *aspp.Internet
-	var err error
 	if *topo != "" {
 		f, ferr := os.Open(*topo)
 		if ferr != nil {
@@ -136,7 +141,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		var tee bytes.Buffer
 		bc := &benchContext{
 			ctx: ctx, internet: internet, seed: *seed, pairs: *pairs,
-			out: io.MultiWriter(out, &tee),
+			engine: engineKind,
+			out:    io.MultiWriter(out, &tee),
 		}
 		if err := registry[name](bc); err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -243,6 +249,7 @@ func runMitigation(bc *benchContext) error {
 func runSusceptibility(bc *benchContext) error {
 	cfg := experiment.DefaultSusceptibilityConfig()
 	cfg.Seed = bc.seed
+	cfg.Engine = bc.engine
 	cells, err := experiment.SusceptibilityMatrixCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
@@ -376,6 +383,7 @@ func tailAbove(h *stats.Histogram, k int) float64 {
 func runPairFig(bc *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
 	pairsResult, err := bc.internet.SamplePairsCtx(bc.ctx, aspp.PairConfig{
 		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: bc.seed,
+		Engine: bc.engine,
 	})
 	if err != nil {
 		return err
@@ -405,7 +413,7 @@ func runFig8(bc *benchContext) error {
 }
 
 func runSweepFig(bc *benchContext, victim, attacker aspp.ASN, both bool, label string) error {
-	follow, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, false)
+	follow, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, false, bc.engine)
 	if err != nil {
 		return err
 	}
@@ -415,7 +423,7 @@ func runSweepFig(bc *benchContext, victim, attacker aspp.ASN, both bool, label s
 			fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\n", p.Lambda, 100*p.After, 100*p.Before)
 		}
 	} else {
-		violate, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, true)
+		violate, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, true, bc.engine)
 		if err != nil {
 			return err
 		}
@@ -465,11 +473,11 @@ func runFig11(bc *benchContext) error {
 	if err != nil {
 		return err
 	}
-	follow, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, false)
+	follow, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, false, bc.engine)
 	if err != nil {
 		return err
 	}
-	violate, err := bc.internet.SweepPrependCtx(bc.ctx, victim, attacker, 8, true)
+	violate, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, true, bc.engine)
 	if err != nil {
 		return err
 	}

@@ -286,13 +286,66 @@ func (c Counts) Before() float64 { return frac(c.PollutedBefore, c.Eligible) }
 // After returns the under-attack polluted fraction.
 func (c Counts) After() float64 { return frac(c.PollutedAfter, c.Eligible) }
 
+// EngineKind selects the attack-propagation engine for the scratch-based
+// sweep hot path (SimulateCountsEngine). It is an ablation knob: every
+// engine computes the identical stable outcome (pinned by the routing
+// package's differential suite), they differ only in cost.
+type EngineKind uint8
+
+const (
+	// EngineAuto (the zero value) uses the Delta engine whenever a
+	// precomputed baseline is supplied — the sweep-driver case, where
+	// the BaselineCache already paid for it — and the Full engine
+	// otherwise.
+	EngineAuto EngineKind = iota
+	// EngineFull always runs the full three-phase attack propagation.
+	EngineFull
+	// EngineDelta always runs the incremental delta propagation,
+	// computing the baseline into the Scratch first when none is given.
+	EngineDelta
+)
+
+// String names the engine kind (the asppbench -engine flag values).
+func (e EngineKind) String() string {
+	switch e {
+	case EngineFull:
+		return "full"
+	case EngineDelta:
+		return "delta"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngineKind parses an -engine flag value.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "full":
+		return EngineFull, nil
+	case "delta":
+		return EngineDelta, nil
+	}
+	return EngineAuto, fmt.Errorf("core: unknown engine %q (want full or delta)", s)
+}
+
 // SimulateCounts runs one interception attack on the allocation-free path:
 // propagation state and the transient routing results are borrowed from s
 // (one Scratch per goroutine — see the routing.Scratch ownership
 // contract), and only the pollution counts survive the call. baseline is
 // optional exactly as in SimulateWithBaseline. Sibling-bearing topologies
-// fall back to the message-level engine, which allocates.
+// fall back to the message-level engine, which allocates. The attack leg
+// runs on the EngineAuto policy: incremental delta propagation when a
+// baseline is supplied, full propagation otherwise.
 func SimulateCounts(g *topology.Graph, sc Scenario, baseline *routing.Result, s *routing.Scratch) (Counts, error) {
+	return SimulateCountsEngine(g, sc, baseline, s, EngineAuto)
+}
+
+// SimulateCountsEngine is SimulateCounts with an explicit engine choice
+// (the asppbench -engine ablation). Sibling-bearing topologies and nil
+// Scratches ignore the choice — they run the message-level fallback.
+func SimulateCountsEngine(g *topology.Graph, sc Scenario, baseline *routing.Result, s *routing.Scratch, engine EngineKind) (Counts, error) {
 	if g.HasSiblings() || s == nil {
 		im, err := SimulateWithBaseline(g, sc, baseline)
 		if err != nil {
@@ -304,6 +357,7 @@ func SimulateCounts(g *topology.Graph, sc Scenario, baseline *routing.Result, s 
 		return Counts{}, errors.New("core: victim and attacker must differ")
 	}
 	ann := sc.announcement()
+	useDelta := engine == EngineDelta || (engine == EngineAuto && baseline != nil)
 	var err error
 	if baseline == nil {
 		baseline, err = routing.PropagateScratch(g, ann, s)
@@ -311,7 +365,12 @@ func SimulateCounts(g *topology.Graph, sc Scenario, baseline *routing.Result, s 
 			return Counts{}, fmt.Errorf("core: baseline: %w", err)
 		}
 	}
-	attacked, err := routing.PropagateAttackScratch(g, ann, sc.attacker(), baseline, s)
+	var attacked *routing.Result
+	if useDelta {
+		attacked, err = routing.PropagateAttackDelta(g, ann, sc.attacker(), baseline, s)
+	} else {
+		attacked, err = routing.PropagateAttackScratch(g, ann, sc.attacker(), baseline, s)
+	}
 	if errors.Is(err, routing.ErrUnreachableAttacker) {
 		return Counts{}, ErrAttackerSeesNoRoute
 	}

@@ -49,6 +49,10 @@ type PairConfig struct {
 	Violate bool
 	Seed    int64
 	Workers int
+	// Engine selects the attack-propagation engine (the asppbench
+	// -engine ablation). The zero value EngineAuto runs incremental
+	// delta propagation against the cached baselines.
+	Engine core.EngineKind
 }
 
 // SamplePairs simulates cfg.N interception instances with independently
@@ -117,12 +121,12 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 			if err != nil {
 				return nil
 			}
-			c, err := core.SimulateCounts(g, core.Scenario{
+			c, err := core.SimulateCountsEngine(g, core.Scenario{
 				Victim:            p.v,
 				Attacker:          p.m,
 				Prepend:           cfg.Prepend,
 				ViolateValleyFree: cfg.Violate,
-			}, base, s)
+			}, base, s, cfg.Engine)
 			if err != nil {
 				return nil // unreachable attacker etc.: skip this draw
 			}
@@ -177,23 +181,36 @@ func SweepPrepend(g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, vi
 }
 
 // SweepPrependCtx is SweepPrepend with cooperative cancellation, running
-// each λ step on a worker-owned routing.Scratch. λ varies per step, so
-// there is no baseline sharing here — each step propagates its own
-// baseline into its worker's scratch. Returns (nil, ctx.Err()) when
-// cancelled.
+// each λ step on a worker-owned routing.Scratch with the default engine
+// policy. Returns (nil, ctx.Err()) when cancelled.
 func SweepPrependCtx(ctx context.Context, g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int) ([]SweepPoint, error) {
+	return SweepPrependEngineCtx(ctx, g, victim, attacker, maxLambda, violate, workers, core.EngineAuto)
+}
+
+// SweepPrependEngineCtx is SweepPrependCtx with an explicit engine choice
+// (the asppbench -engine ablation). Each λ step's no-attack baseline is
+// memoized per (victim, λ) in a BaselineCache and the attack leg is
+// recomputed against it — incrementally under the delta engine, which
+// only re-walks the attacker's cone.
+func SweepPrependEngineCtx(ctx context.Context, g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int, engine core.EngineKind) ([]SweepPoint, error) {
 	if maxLambda < 1 {
 		return nil, errors.New("experiment: maxLambda must be >= 1")
 	}
+	cache := NewBaselineCache(g)
 	errs := make([]error, maxLambda)
 	points, cerr := parallel.MapScratch(ctx, maxLambda, workers, routing.NewScratch,
 		func(s *routing.Scratch, i int) SweepPoint {
-			c, err := core.SimulateCounts(g, core.Scenario{
+			base, err := cache.Get(victim, i+1)
+			if err != nil {
+				errs[i] = err
+				return SweepPoint{Lambda: i + 1}
+			}
+			c, err := core.SimulateCountsEngine(g, core.Scenario{
 				Victim:            victim,
 				Attacker:          attacker,
 				Prepend:           i + 1,
 				ViolateValleyFree: violate,
-			}, nil, s)
+			}, base, s, engine)
 			if err != nil {
 				errs[i] = err
 				return SweepPoint{Lambda: i + 1}

@@ -34,6 +34,9 @@ type SusceptibilityConfig struct {
 	Violate bool
 	Seed    int64
 	Workers int
+	// Engine selects the attack-propagation engine; the zero value
+	// EngineAuto runs delta propagation against the cached baselines.
+	Engine core.EngineKind
 }
 
 // DefaultSusceptibilityConfig returns the calibrated setup. The matrix
@@ -112,12 +115,12 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 			if err != nil {
 				return -1
 			}
-			c, err := core.SimulateCounts(g, core.Scenario{
+			c, err := core.SimulateCountsEngine(g, core.Scenario{
 				Victim:            jobs[i].v,
 				Attacker:          jobs[i].m,
 				Prepend:           cfg.Prepend,
 				ViolateValleyFree: cfg.Violate,
-			}, base, s)
+			}, base, s, cfg.Engine)
 			if err != nil {
 				return -1
 			}

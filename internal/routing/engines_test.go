@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -375,6 +376,249 @@ func TestScratchResultsDetachWithClone(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareResults(t, g, snapshot, freshFirst, "detached clone")
+}
+
+// randomDeltaScenario draws a scenario for the three-engine differential
+// suite: tier-biased endpoints (core, stub or uniform), λ ∈ 1..8, random
+// per-neighbor prepends, withholds and KeepPrepend. The violate flag is
+// driven by the caller, which runs both modes per scenario.
+func randomDeltaScenario(t *testing.T, rng *rand.Rand) (*topology.Graph, Announcement, Attacker) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(40 + rng.Intn(90))
+	cfg.Tier1 = 3 + rng.Intn(4)
+	cfg.Seed = rng.Int63()
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	asns := g.ASNs()
+	var stubs []bgp.ASN
+	for _, asn := range asns {
+		if g.IsStub(asn) {
+			stubs = append(stubs, asn)
+		}
+	}
+	pick := func() bgp.ASN {
+		switch rng.Intn(3) {
+		case 0:
+			t1 := g.Tier1s()
+			return t1[rng.Intn(len(t1))]
+		case 1:
+			if len(stubs) > 0 {
+				return stubs[rng.Intn(len(stubs))]
+			}
+			fallthrough
+		default:
+			return asns[rng.Intn(len(asns))]
+		}
+	}
+	victim := pick()
+	attacker := victim
+	for attacker == victim {
+		attacker = pick()
+	}
+	ann := Announcement{Origin: victim, Prepend: 1 + rng.Intn(8)}
+	if rng.Intn(3) == 0 {
+		ann.PerNeighbor = make(map[bgp.ASN]int)
+		for _, nbr := range g.Providers(victim) {
+			if rng.Intn(2) == 0 {
+				ann.PerNeighbor[nbr] = 1 + rng.Intn(8)
+			}
+		}
+	}
+	if rng.Intn(4) == 0 {
+		providers := g.Providers(victim)
+		if len(providers) > 1 {
+			ann.Withhold = map[bgp.ASN]bool{providers[rng.Intn(len(providers))]: true}
+		}
+	}
+	atk := Attacker{AS: attacker, KeepPrepend: 1 + rng.Intn(2)}
+	return g, ann, atk
+}
+
+// TestDeltaEngineDifferential is the delta-cone differential suite: over
+// 500 randomized attack scenarios (mixed tiers, λ ∈ 1..8, valley-free
+// follow and violate), the Delta engine must agree with the Fast and
+// Reference engines on the pollution set (Via) and every AS's best path —
+// while one Scratch is reused across its baseline, attack and delta slots
+// for the whole run, and the two DAG engines must agree on which attackers
+// are unreachable.
+func TestDeltaEngineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	s := NewScratch()
+	scenarios := 0
+	for trial := 0; scenarios < 510 && trial < 2000; trial++ {
+		g, ann, atk := randomDeltaScenario(t, rng)
+		label := fmt.Sprintf("trial %d (V=%v M=%v λ=%d keep=%d)",
+			trial, ann.Origin, atk.AS, ann.Prepend, atk.KeepPrepend)
+
+		base, err := PropagateScratch(g, ann, s)
+		if err != nil {
+			t.Fatalf("%s: PropagateScratch: %v", label, err)
+		}
+		refBase, err := PropagateReference(g, ann, nil)
+		if err != nil {
+			t.Fatalf("%s: PropagateReference: %v", label, err)
+		}
+		compareResults(t, g, base, refBase, label+" baseline")
+
+		for _, violate := range []bool{false, true} {
+			a := atk
+			a.ViolateValleyFree = violate
+			alabel := fmt.Sprintf("%s violate=%v", label, violate)
+
+			full, ferr := PropagateAttackScratch(g, ann, a, base, s)
+			delta, derr := PropagateAttackDelta(g, ann, a, base, s)
+			if errors.Is(ferr, ErrUnreachableAttacker) {
+				if !errors.Is(derr, ErrUnreachableAttacker) {
+					t.Fatalf("%s: fast unreachable but delta err = %v", alabel, derr)
+				}
+				continue
+			}
+			if ferr != nil {
+				t.Fatalf("%s: PropagateAttackScratch: %v", alabel, ferr)
+			}
+			if derr != nil {
+				t.Fatalf("%s: PropagateAttackDelta: %v", alabel, derr)
+			}
+			ref, err := PropagateReference(g, ann, &a)
+			if err != nil {
+				t.Fatalf("%s: PropagateReference: %v", alabel, err)
+			}
+			compareResults(t, g, delta, full, alabel+" delta-vs-fast")
+			compareResults(t, g, delta, ref, alabel+" delta-vs-ref")
+			checkInvariants(t, g, delta, ann, &a, alabel)
+			if delta.PollutedCount() != full.PollutedCount() {
+				t.Errorf("%s: pollution %d (delta) vs %d (fast)", alabel,
+					delta.PollutedCount(), full.PollutedCount())
+			}
+			scenarios++
+
+			if !violate {
+				// Slot reuse: a second delta call on the same Scratch must
+				// return the same slot with the same outcome.
+				again, err := PropagateAttackDelta(g, ann, a, base, s)
+				if err != nil {
+					t.Fatalf("%s: repeat PropagateAttackDelta: %v", alabel, err)
+				}
+				if again != delta {
+					t.Fatalf("%s: delta slot not reused across calls", alabel)
+				}
+				compareResults(t, g, again, full, alabel+" delta-repeat")
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("%s: stopping after first failing trial", label)
+		}
+	}
+	if scenarios < 500 {
+		t.Fatalf("only %d attack scenarios exercised, want >= 500", scenarios)
+	}
+}
+
+// graftSibling adds one sibling link between two previously unrelated ASes.
+func graftSibling(t *testing.T, g *topology.Graph, rng *rand.Rand) *topology.Graph {
+	t.Helper()
+	asns := g.ASNs()
+	for tries := 0; tries < 200; tries++ {
+		x := asns[rng.Intn(len(asns))]
+		y := asns[rng.Intn(len(asns))]
+		if x == y || g.RelOf(x, y) != topology.RelNone {
+			continue
+		}
+		b := topology.Rebuild(g)
+		if err := b.AddS2S(x, y); err != nil {
+			t.Fatalf("AddS2S(%v,%v): %v", x, y, err)
+		}
+		g2, err := b.Build()
+		if err != nil {
+			continue // sibling link closed a cycle elsewhere; redraw
+		}
+		return g2
+	}
+	t.Fatal("no sibling-graftable pair found")
+	return nil
+}
+
+// TestDeltaEngineSiblingContract covers the sibling-link slice of the
+// differential suite: on sibling-bearing graphs both DAG engines must
+// refuse with ErrSiblingsNeedReference while the Reference engine routes
+// them deterministically and loop-free.
+func TestDeltaEngineSiblingContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	s := NewScratch()
+	for trial := 0; trial < 12; trial++ {
+		plain, ann, atk := randomDeltaScenario(t, rng)
+		g := graftSibling(t, plain, rng)
+		label := fmt.Sprintf("sibling trial %d (V=%v M=%v λ=%d)", trial, ann.Origin, atk.AS, ann.Prepend)
+
+		if _, err := PropagateScratch(g, ann, s); !errors.Is(err, ErrSiblingsNeedReference) {
+			t.Fatalf("%s: PropagateScratch err = %v, want ErrSiblingsNeedReference", label, err)
+		}
+		if _, err := PropagateAttackDelta(g, ann, atk, nil, s); !errors.Is(err, ErrSiblingsNeedReference) {
+			t.Fatalf("%s: PropagateAttackDelta err = %v, want ErrSiblingsNeedReference", label, err)
+		}
+
+		refBase, err := PropagateReference(g, ann, nil)
+		if err != nil {
+			t.Fatalf("%s: reference baseline: %v", label, err)
+		}
+		refAtk, err := PropagateReference(g, ann, &atk)
+		if err != nil {
+			t.Fatalf("%s: reference attack: %v", label, err)
+		}
+		// Determinism: a rerun reproduces both outcomes exactly.
+		refBase2, err := PropagateReference(g, ann, nil)
+		if err != nil {
+			t.Fatalf("%s: reference baseline rerun: %v", label, err)
+		}
+		refAtk2, err := PropagateReference(g, ann, &atk)
+		if err != nil {
+			t.Fatalf("%s: reference attack rerun: %v", label, err)
+		}
+		compareResults(t, g, refBase, refBase2, label+" baseline determinism")
+		compareResults(t, g, refAtk, refAtk2, label+" attack determinism")
+		for _, asn := range g.ASNs() {
+			if p := refAtk.PathOf(asn); p.HasLoop() {
+				t.Errorf("%s: %v has loop %v", label, asn, p)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("%s: stopping after first failing trial", label)
+		}
+	}
+}
+
+// TestDeltaRejectsMismatchedBaseline pins the delta precondition: the
+// baseline must belong to the same graph and origin.
+func TestDeltaRejectsMismatchedBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, ann, atk := randomScenario(t, rng)
+	base, err := Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherAnn := Announcement{Origin: atk.AS, Prepend: 2}
+	wrongOrigin, err := Propagate(g, otherAnn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PropagateAttackDelta(g, ann, atk, wrongOrigin, nil); err == nil {
+		t.Error("delta accepted a baseline for a different origin")
+	}
+	g2, ann2, _ := randomScenario(t, rng)
+	if _, err := PropagateAttackDelta(g2, ann2, Attacker{AS: pickOther(g2, ann2.Origin)}, base, nil); err == nil {
+		t.Error("delta accepted a baseline for a different graph")
+	}
+}
+
+func pickOther(g *topology.Graph, not bgp.ASN) bgp.ASN {
+	for _, asn := range g.ASNs() {
+		if asn != not {
+			return asn
+		}
+	}
+	return not
 }
 
 func TestEnginesAgreeOnHandGraph(t *testing.T) {

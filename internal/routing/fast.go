@@ -84,16 +84,21 @@ func (st *fastState) init(g *topology.Graph, ann Announcement, s *Scratch) {
 	}
 }
 
-// better reports whether a beats b under (length, lowest next-hop ASN).
-// Class comparison happens structurally (separate tables).
-func (st *fastState) better(a, b cand) bool {
+// betterCand reports whether a beats b under (length, lowest next-hop
+// ASN). Class comparison happens structurally (separate tables). Shared
+// by the Fast and Delta engines so their tie-breaks cannot drift apart.
+func betterCand(g *topology.Graph, a, b cand) bool {
 	if b.len < 0 {
 		return true
 	}
 	if a.len != b.len {
 		return a.len < b.len
 	}
-	return st.g.ASNAt(a.parent) < st.g.ASNAt(b.parent)
+	return g.ASNAt(a.parent) < g.ASNAt(b.parent)
+}
+
+func (st *fastState) better(a, b cand) bool {
+	return betterCand(st.g, a, b)
 }
 
 // consider offers candidate c to table slot of AS at.
@@ -109,18 +114,24 @@ func (st *fastState) consider(table []cand, at int32, c cand) {
 	}
 }
 
-// export computes what AS u advertises given its route c: u prepends its
-// own ASN once; the attacker additionally strips origin prepends.
-func (st *fastState) export(u int32, c cand) cand {
+// exportCand computes what AS u advertises given its route c: u prepends
+// its own ASN once; the attacker (atkIdx) additionally strips origin
+// prepends down to keep and via-marks the offer. Shared by the Fast and
+// Delta engines.
+func exportCand(u int32, c cand, atkIdx int32, keep int16) cand {
 	out := cand{len: c.len + 1, prep: c.prep, via: c.via, parent: u}
-	if u == st.atkIdx {
-		if c.prep > st.keep {
-			out.len -= int32(c.prep - st.keep)
-			out.prep = st.keep
+	if u == atkIdx {
+		if c.prep > keep {
+			out.len -= int32(c.prep - keep)
+			out.prep = keep
 		}
 		out.via = true
 	}
 	return out
+}
+
+func (st *fastState) export(u int32, c cand) cand {
+	return exportCand(u, c, st.atkIdx, st.keep)
 }
 
 // selected returns i's best route across classes:

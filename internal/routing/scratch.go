@@ -16,9 +16,11 @@ import "aspp/internal/topology"
 //   - The *Result returned by PropagateScratch is owned by the Scratch's
 //     baseline slot: it stays valid until the next PropagateScratch call
 //     on the same Scratch. Likewise PropagateAttackScratch's result lives
-//     in the attack slot until the next PropagateAttackScratch call. The
-//     two slots are independent, so the usual baseline-then-attack pairing
-//     works on a single Scratch.
+//     in the attack slot until the next PropagateAttackScratch call, and
+//     PropagateAttackDelta's in the delta slot until the next
+//     PropagateAttackDelta call. The three slots are independent, so the
+//     usual baseline-then-attack pairing — with either attack engine, or
+//     both — works on a single Scratch.
 //   - Callers that need a result to outlive the Scratch must Clone it.
 //
 // A Scratch adapts itself to whatever topology it is handed; growing to a
@@ -38,8 +40,13 @@ type Scratch struct {
 	viaState []uint8
 	viaStack []int32
 
-	// base and atk are the two reusable result slots.
-	base, atk Result
+	// dflags and deltaVia back the Delta engine: per-AS dirty/touched
+	// bits and the delta slot's Via storage.
+	dflags   []uint8
+	deltaVia []bool
+
+	// base, atk and delta are the three reusable result slots.
+	base, atk, delta Result
 }
 
 // NewScratch returns an empty Scratch; it sizes itself on first use.
@@ -58,6 +65,8 @@ func (s *Scratch) grow(n int) {
 	s.viaBase = make([]bool, n)
 	s.viaState = make([]uint8, n)
 	s.viaStack = make([]int32, 0, 64)
+	s.dflags = make([]uint8, n)
+	s.deltaVia = make([]bool, n)
 	s.n = n
 }
 

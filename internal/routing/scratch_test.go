@@ -55,6 +55,18 @@ func TestPropagateScratchZeroAlloc(t *testing.T) {
 		t.Fatal(allocSinkErr)
 	}
 
+	if _, err := PropagateAttackDelta(g, ann, atk, base, s); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		allocSinkResult, allocSinkErr = PropagateAttackDelta(g, ann, atk, base, s)
+	}); avg != 0 {
+		t.Errorf("warmed PropagateAttackDelta allocates %.1f objects per run, want 0", avg)
+	}
+	if allocSinkErr != nil {
+		t.Fatal(allocSinkErr)
+	}
+
 	// The borrowed ViaSetInto walk is part of the sweep inner loop too.
 	if avg := testing.AllocsPerRun(20, func() {
 		via, state, stack := s.ViaBuffers(g)
