@@ -1,14 +1,25 @@
 GO ?= go
 
-.PHONY: check build test race fuzz-smoke bench
+.PHONY: check build test race fuzz-smoke bench lint-panics
 
 # Tier-1 matrix: everything CI gates on.
-check:
+check: lint-panics
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/ ./internal/routing/
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+
+# Sweep workers must return errors, never panic (DESIGN.md §6 "Error
+# contract"): non-test code in the gated packages may not call panic().
+lint-panics:
+	@bad=$$(grep -rn 'panic(' \
+		internal/measure internal/relinfer internal/experiment internal/detect internal/defense \
+		--include='*.go' --exclude='*_test.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic() calls in gated non-test code (return an error instead):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -37,6 +37,7 @@ import (
 	"aspp/internal/detect"
 	"aspp/internal/experiment"
 	"aspp/internal/measure"
+	"aspp/internal/obs"
 	"aspp/internal/relinfer"
 	"aspp/internal/routing"
 	"aspp/internal/stats"
@@ -107,6 +108,15 @@ type (
 	TierCell = experiment.TierCell
 	// EngineKind selects the attack-propagation engine for sweeps.
 	EngineKind = core.EngineKind
+	// Counters collects optional per-sweep telemetry (propagations per
+	// engine, baseline-cache hits/misses, skipped draws, churn updates).
+	// The zero value is ready to use; nil disables recording. Use one
+	// Counters per sweep and read it with Snapshot.
+	Counters = obs.Counters
+	// CountersSnapshot is a consistent point-in-time read of Counters.
+	CountersSnapshot = obs.Snapshot
+	// SweepConfig drives counter-aware prepend sweeps (Figs. 9-12).
+	SweepConfig = experiment.SweepConfig
 )
 
 // Attack-propagation engine kinds (the asppbench -engine ablation).
@@ -269,6 +279,12 @@ func (in *Internet) Tier1s() []ASN { return in.g.Tier1s() }
 // TopByDegree returns the n best-connected ASes.
 func (in *Internet) TopByDegree(n int) []ASN { return in.g.TopByDegree(n) }
 
+// SimulateAttackObs is SimulateAttack recording propagation telemetry
+// into the optional counters (nil disables recording).
+func (in *Internet) SimulateAttackObs(sc Scenario, c *Counters) (*Impact, error) {
+	return core.SimulateObs(in.g, sc, c)
+}
+
 // SimulateAttack runs one interception attack (see core.Simulate).
 func (in *Internet) SimulateAttack(sc Scenario) (*Impact, error) {
 	return core.Simulate(in.g, sc)
@@ -307,6 +323,12 @@ func (in *Internet) SweepPrependEngineCtx(ctx context.Context, victim, attacker 
 	return experiment.SweepPrependEngineCtx(ctx, in.g, victim, attacker, maxLambda, violate, 0, engine)
 }
 
+// SweepPrependCfgCtx is the config-struct form of the prepend sweep,
+// exposing the engine choice and optional telemetry counters.
+func (in *Internet) SweepPrependCfgCtx(ctx context.Context, cfg SweepConfig) ([]SweepPoint, error) {
+	return experiment.SweepPrependCfgCtx(ctx, in.g, cfg)
+}
+
 // RunDetection evaluates the detection algorithm (paper Figs. 13-14).
 func (in *Internet) RunDetection(cfg DetectionConfig) (*DetectionOutcome, error) {
 	return experiment.RunDetection(in.g, cfg)
@@ -333,6 +355,7 @@ func (in *Internet) UsageSurvey(policy PolicyConfig, survey SurveyConfig) (*Surv
 		def := measure.DefaultSurveyConfig()
 		def.Workers = survey.Workers
 		def.Seed = survey.Seed
+		def.Counters = survey.Counters
 		if def.Seed == 0 {
 			def.Seed = 1
 		}

@@ -52,6 +52,10 @@ type benchContext struct {
 	pairs    int
 	engine   aspp.EngineKind
 	out      io.Writer
+	// counters is non-nil when -counters is set: one fresh Counters per
+	// experiment, reported after the experiment's data (outside the TSV
+	// tee, so counter lines never land in -out files or goldens).
+	counters *aspp.Counters
 }
 
 type experimentFunc func(*benchContext) error
@@ -80,13 +84,14 @@ var registry = map[string]experimentFunc{
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asppbench", flag.ContinueOnError)
 	var (
-		exps   = fs.String("exp", "all", "comma-separated experiments (fig1,table1,fig5..fig14) or 'all'")
-		n      = fs.Int("n", 4000, "number of ASes in the generated topology")
-		seed   = fs.Int64("seed", 1, "random seed")
-		pairs  = fs.Int("pairs", 200, "attacker/victim pairs for the detection experiments")
-		topo   = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
-		outDir = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
-		engine = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
+		exps     = fs.String("exp", "all", "comma-separated experiments (fig1,table1,fig5..fig14) or 'all'")
+		n        = fs.Int("n", 4000, "number of ASes in the generated topology")
+		seed     = fs.Int64("seed", 1, "random seed")
+		pairs    = fs.Int("pairs", 200, "attacker/victim pairs for the detection experiments")
+		topo     = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
+		outDir   = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
+		engine   = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
+		counters = fs.Bool("counters", false, "report per-experiment sweep telemetry (propagations, cache hits, skipped draws)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -144,11 +149,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			engine: engineKind,
 			out:    io.MultiWriter(out, &tee),
 		}
+		if *counters {
+			bc.counters = new(aspp.Counters)
+		}
 		if err := registry[name](bc); err != nil {
 			if errors.Is(err, context.Canceled) {
 				return err
 			}
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		if bc.counters != nil {
+			fmt.Fprintf(out, "# counters: %s\n", bc.counters.Snapshot())
 		}
 		fmt.Fprintln(out)
 		if *outDir != "" {
@@ -177,6 +188,7 @@ func expOrder(name string) int {
 func runCompare(bc *benchContext) error {
 	cfg := experiment.DefaultCompareConfig()
 	cfg.Seed = bc.seed
+	cfg.Counters = bc.counters
 	out, err := experiment.CompareAttackTypesCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
@@ -250,6 +262,7 @@ func runSusceptibility(bc *benchContext) error {
 	cfg := experiment.DefaultSusceptibilityConfig()
 	cfg.Seed = bc.seed
 	cfg.Engine = bc.engine
+	cfg.Counters = bc.counters
 	cells, err := experiment.SusceptibilityMatrixCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
@@ -308,7 +321,7 @@ func runTable1(bc *benchContext) error {
 }
 
 func (bc *benchContext) survey() (*aspp.SurveyResult, error) {
-	return bc.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: bc.seed})
+	return bc.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: bc.seed, Counters: bc.counters})
 }
 
 func runFig5(bc *benchContext) error {
@@ -383,7 +396,7 @@ func tailAbove(h *stats.Histogram, k int) float64 {
 func runPairFig(bc *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
 	pairsResult, err := bc.internet.SamplePairsCtx(bc.ctx, aspp.PairConfig{
 		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: bc.seed,
-		Engine: bc.engine,
+		Engine: bc.engine, Counters: bc.counters,
 	})
 	if err != nil {
 		return err
@@ -412,8 +425,15 @@ func runFig8(bc *benchContext) error {
 	return runPairFig(bc, aspp.PairsRandom, 27, true, "random pairs (propagating attacker)")
 }
 
+func (bc *benchContext) sweep(victim, attacker aspp.ASN, violate bool) ([]aspp.SweepPoint, error) {
+	return bc.internet.SweepPrependCfgCtx(bc.ctx, aspp.SweepConfig{
+		Victim: victim, Attacker: attacker, MaxLambda: 8, Violate: violate,
+		Engine: bc.engine, Counters: bc.counters,
+	})
+}
+
 func runSweepFig(bc *benchContext, victim, attacker aspp.ASN, both bool, label string) error {
-	follow, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, false, bc.engine)
+	follow, err := bc.sweep(victim, attacker, false)
 	if err != nil {
 		return err
 	}
@@ -423,7 +443,7 @@ func runSweepFig(bc *benchContext, victim, attacker aspp.ASN, both bool, label s
 			fmt.Fprintf(bc.out, "%d\t%.2f\t%.2f\n", p.Lambda, 100*p.After, 100*p.Before)
 		}
 	} else {
-		violate, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, true, bc.engine)
+		violate, err := bc.sweep(victim, attacker, true)
 		if err != nil {
 			return err
 		}
@@ -473,11 +493,11 @@ func runFig11(bc *benchContext) error {
 	if err != nil {
 		return err
 	}
-	follow, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, false, bc.engine)
+	follow, err := bc.sweep(victim, attacker, false)
 	if err != nil {
 		return err
 	}
-	violate, err := bc.internet.SweepPrependEngineCtx(bc.ctx, victim, attacker, 8, true, bc.engine)
+	violate, err := bc.sweep(victim, attacker, true)
 	if err != nil {
 		return err
 	}
@@ -525,6 +545,7 @@ func (bc *benchContext) detection() (*aspp.DetectionOutcome, error) {
 	cfg := aspp.DefaultDetectionConfig()
 	cfg.Pairs = bc.pairs
 	cfg.Seed = bc.seed
+	cfg.Counters = bc.counters
 	// Latency series (Fig. 14) at a coverage-matched monitor count: the
 	// paper's 150 monitors cover ~0.5-0.75% of the 2011 Internet.
 	cfg.LatencyMonitors = bc.internet.Graph().NumASes() * 3 / 400

@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		victim   = fs.String("victim", "auto", "victim ASN for -defense ('auto': a multihomed stub)")
 		updates  = fs.String("updates", "", "update stream file (text format; '-' for stdin)")
 		monitors = fs.String("monitors", "", "comma-separated monitor ASNs for -updates mode")
+		counters = fs.Bool("counters", false, "report propagation telemetry for -demo")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -50,7 +51,7 @@ func run(args []string, out io.Writer) error {
 	}
 	switch {
 	case *demo:
-		return runDemo(*n, *seed, out)
+		return runDemo(*n, *seed, *counters, out)
 	case *def:
 		return runDefense(*n, *seed, *budget, *victim, out)
 	case *updates != "":
@@ -149,7 +150,7 @@ func runStream(path, monitorSpec string, out io.Writer) error {
 
 // runDemo simulates one interception attack and replays the monitors'
 // route changes through the streaming detector.
-func runDemo(n int, seed int64, out io.Writer) error {
+func runDemo(n int, seed int64, counters bool, out io.Writer) error {
 	internet, err := aspp.NewInternet(aspp.WithSize(n), aspp.WithSeed(seed))
 	if err != nil {
 		return err
@@ -163,11 +164,18 @@ func runDemo(n int, seed int64, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	im, err := internet.SimulateAttack(aspp.Scenario{
+	var obs *aspp.Counters
+	if counters {
+		obs = new(aspp.Counters)
+	}
+	im, err := internet.SimulateAttackObs(aspp.Scenario{
 		Victim: victim, Attacker: attacker, Prepend: 4,
-	})
+	}, obs)
 	if err != nil {
 		return err
+	}
+	if obs != nil {
+		defer func() { fmt.Fprintf(out, "counters: %s\n", obs.Snapshot()) }()
 	}
 	fmt.Fprintf(out, "attack: %v strips %v's prepends; %d ASes captured (%.1f%%)\n",
 		attacker, victim, im.PollutedAfter, 100*im.After())

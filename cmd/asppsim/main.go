@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		show     = fs.Int("show", 5, "example captured ASes to print")
 		updOut   = fs.String("updates-out", "", "write the monitors' update stream (steady state + attack) to this file, consumable by asppdetect -updates")
 		nMon     = fs.Int("monitors", 100, "top-degree monitor count for -updates-out")
+		counters = fs.Bool("counters", false, "report propagation telemetry for the simulation")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -88,13 +89,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	im, err := internet.SimulateAttack(aspp.Scenario{
+	var obs *aspp.Counters
+	if *counters {
+		obs = new(aspp.Counters)
+	}
+	im, err := internet.SimulateAttackObs(aspp.Scenario{
 		Victim:            v,
 		Attacker:          m,
 		Prepend:           *lambda,
 		KeepPrepend:       *keep,
 		ViolateValleyFree: *violate,
-	})
+	}, obs)
 	if err != nil {
 		return err
 	}
@@ -124,6 +129,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "update stream written to %s\n", *updOut)
+	}
+	if obs != nil {
+		fmt.Fprintf(out, "counters: %s\n", obs.Snapshot())
 	}
 	return nil
 }

@@ -60,10 +60,14 @@ func run(args []string, out io.Writer) error {
 	g := internet.Graph()
 
 	if *showStat {
-		if ps, err := topology.MeasurePaths(g, 30); err == nil {
-			fmt.Fprintf(out, "paths:           mean %.1f hops, max %d, reachable %.1f%%\n",
-				ps.MeanHops, ps.MaxHops, 100*ps.ReachableFrac)
+		ps, err := topology.MeasurePaths(g, 30)
+		if err != nil {
+			// Path stats are part of the requested report; a propagation
+			// failure is a real defect, not a line to drop silently.
+			return fmt.Errorf("measuring paths: %w", err)
 		}
+		fmt.Fprintf(out, "paths:           mean %.1f hops, max %d, reachable %.1f%%\n",
+			ps.MeanHops, ps.MaxHops, 100*ps.ReachableFrac)
 		s := topology.Stats(g)
 		fmt.Fprintf(out, "ASes:            %d\n", s.ASes)
 		fmt.Fprintf(out, "links:           %d (%d p2c, %d p2p)\n", s.Links, s.P2CLinks, s.P2PLinks)

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"aspp/internal/bgp"
+	"aspp/internal/obs"
 	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
@@ -75,8 +76,12 @@ func (s Scenario) attacker() routing.Attacker {
 }
 
 // ErrAttackerSeesNoRoute reports that the attacker never receives the
-// victim's route and therefore cannot launch the interception.
-var ErrAttackerSeesNoRoute = errors.New("core: attacker receives no route for the victim prefix")
+// victim's route and therefore cannot launch the interception. It wraps
+// routing.ErrUnreachableAttacker, so errors.Is matches either sentinel at
+// any layer. This is the *skippable* class of the sweep error contract
+// (DESIGN §6): a property of the drawn scenario, not a failure of the
+// machinery — drivers redraw such instances and abort on anything else.
+var ErrAttackerSeesNoRoute = fmt.Errorf("core: attacker receives no route for the victim prefix: %w", routing.ErrUnreachableAttacker)
 
 // Impact is the outcome of one simulated attack.
 type Impact struct {
@@ -195,11 +200,12 @@ func BaselineOnly(g *topology.Graph, sc Scenario) (*routing.Result, error) {
 // which handles sibling links. The reference engine degrades an
 // unreachable attacker to a no-op, so reachability is checked explicitly
 // to preserve ErrAttackerSeesNoRoute semantics.
-func simulateReference(g *topology.Graph, ann routing.Announcement, sc Scenario) (baseline, attacked *routing.Result, err error) {
+func simulateReference(g *topology.Graph, ann routing.Announcement, sc Scenario, c *obs.Counters) (baseline, attacked *routing.Result, err error) {
 	baseline, err = routing.PropagateReference(g, ann, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: baseline: %w", err)
 	}
+	c.AddBasePropagations(1)
 	if !baseline.Reachable(sc.Attacker) {
 		return nil, nil, routing.ErrUnreachableAttacker
 	}
@@ -217,6 +223,12 @@ func Simulate(g *topology.Graph, sc Scenario) (*Impact, error) {
 	return SimulateWithBaseline(g, sc, nil)
 }
 
+// SimulateObs is Simulate recording propagation telemetry into the
+// optional counters (the asppsim -counters path).
+func SimulateObs(g *topology.Graph, sc Scenario, c *obs.Counters) (*Impact, error) {
+	return SimulateWithBaselineObs(g, sc, nil, c)
+}
+
 // SimulateWithBaseline is Simulate with an optional precomputed no-attack
 // baseline for the scenario's announcement (as produced by BaselineOnly,
 // or experiment's per-(origin, λ) cache). The baseline is used read-only
@@ -224,6 +236,14 @@ func Simulate(g *topology.Graph, sc Scenario) (*Impact, error) {
 // scenario's announcement exactly (same origin, λ, per-neighbor prepends
 // and withholds) — callers own that invariant. Pass nil to compute it.
 func SimulateWithBaseline(g *topology.Graph, sc Scenario, baseline *routing.Result) (*Impact, error) {
+	return SimulateWithBaselineObs(g, sc, baseline, nil)
+}
+
+// SimulateWithBaselineObs is SimulateWithBaseline recording propagation
+// telemetry into the optional counters (nil disables recording). Both
+// propagation legs of the message-level fallback count as full
+// propagations — the delta engine never runs on this path.
+func SimulateWithBaselineObs(g *topology.Graph, sc Scenario, baseline *routing.Result, c *obs.Counters) (*Impact, error) {
 	if sc.Victim == sc.Attacker {
 		return nil, errors.New("core: victim and attacker must differ")
 	}
@@ -234,7 +254,7 @@ func SimulateWithBaseline(g *topology.Graph, sc Scenario, baseline *routing.Resu
 	)
 	if g.HasSiblings() {
 		if baseline == nil {
-			baseline, attacked, err = simulateReference(g, ann, sc)
+			baseline, attacked, err = simulateReference(g, ann, sc, c)
 		} else {
 			if !baseline.Reachable(sc.Attacker) {
 				return nil, ErrAttackerSeesNoRoute
@@ -248,6 +268,7 @@ func SimulateWithBaseline(g *topology.Graph, sc Scenario, baseline *routing.Resu
 			if err != nil {
 				return nil, fmt.Errorf("core: baseline: %w", err)
 			}
+			c.AddBasePropagations(1)
 		}
 		attacked, err = routing.PropagateAttack(g, ann, sc.attacker(), baseline)
 	}
@@ -257,6 +278,7 @@ func SimulateWithBaseline(g *topology.Graph, sc Scenario, baseline *routing.Resu
 	if err != nil {
 		return nil, fmt.Errorf("core: attack: %w", err)
 	}
+	c.AddFullPropagations(1)
 
 	im := &Impact{
 		Scenario: sc,
@@ -346,8 +368,16 @@ func SimulateCounts(g *topology.Graph, sc Scenario, baseline *routing.Result, s 
 // (the asppbench -engine ablation). Sibling-bearing topologies and nil
 // Scratches ignore the choice — they run the message-level fallback.
 func SimulateCountsEngine(g *topology.Graph, sc Scenario, baseline *routing.Result, s *routing.Scratch, engine EngineKind) (Counts, error) {
+	return SimulateCountsEngineObs(g, sc, baseline, s, engine, nil)
+}
+
+// SimulateCountsEngineObs is SimulateCountsEngine recording propagation
+// telemetry into the optional counters (nil disables recording): one base
+// propagation when the baseline is computed here, and one full or delta
+// propagation for the attack leg depending on which engine actually ran.
+func SimulateCountsEngineObs(g *topology.Graph, sc Scenario, baseline *routing.Result, s *routing.Scratch, engine EngineKind, c *obs.Counters) (Counts, error) {
 	if g.HasSiblings() || s == nil {
-		im, err := SimulateWithBaseline(g, sc, baseline)
+		im, err := SimulateWithBaselineObs(g, sc, baseline, c)
 		if err != nil {
 			return Counts{}, err
 		}
@@ -364,6 +394,7 @@ func SimulateCountsEngine(g *topology.Graph, sc Scenario, baseline *routing.Resu
 		if err != nil {
 			return Counts{}, fmt.Errorf("core: baseline: %w", err)
 		}
+		c.AddBasePropagations(1)
 	}
 	var attacked *routing.Result
 	if useDelta {
@@ -377,12 +408,17 @@ func SimulateCountsEngine(g *topology.Graph, sc Scenario, baseline *routing.Resu
 	if err != nil {
 		return Counts{}, fmt.Errorf("core: attack: %w", err)
 	}
+	if useDelta {
+		c.AddDeltaPropagations(1)
+	} else {
+		c.AddFullPropagations(1)
+	}
 	via, state, stack := s.ViaBuffers(g)
 	viaBase := baseline.ViaSetInto(sc.Attacker, via, state, stack)
-	var c Counts
+	var cnt Counts
 	countPollution(g, sc, baseline, attacked, viaBase,
-		&c.Eligible, &c.PollutedBefore, &c.PollutedAfter)
-	return c, nil
+		&cnt.Eligible, &cnt.PollutedBefore, &cnt.PollutedAfter)
+	return cnt, nil
 }
 
 // countPollution tallies the three pollution counters shared by Impact and

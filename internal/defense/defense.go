@@ -13,6 +13,7 @@
 package defense
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/parallel"
+	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
 
@@ -113,18 +115,27 @@ func drawAttacks(g *topology.Graph, cfg Config, n int, rng *rand.Rand) (*attackS
 			candidates = append(candidates, m)
 		}
 	}
-	sims := parallel.Map(len(candidates), cfg.Workers, func(i int) *core.Impact {
+	sims, serr := parallel.MapErr(context.Background(), len(candidates), cfg.Workers, func(i int) (*core.Impact, error) {
 		im, err := core.Simulate(g, core.Scenario{
 			Victim:            cfg.Victim,
 			Attacker:          candidates[i],
 			Prepend:           cfg.Prepend,
 			ViolateValleyFree: cfg.Violate,
 		})
-		if err != nil || len(im.NewlyPolluted()) == 0 {
-			return nil
+		if routing.Skippable(err) {
+			return nil, nil // skippable draw: this attacker never hears the route
 		}
-		return im
+		if err != nil {
+			return nil, fmt.Errorf("defense: attack %v against %v: %w", candidates[i], cfg.Victim, err)
+		}
+		if len(im.NewlyPolluted()) == 0 {
+			return nil, nil // no-op attack: undetectable by construction
+		}
+		return im, nil
 	})
+	if serr != nil {
+		return nil, serr
+	}
 	set := &attackSet{}
 	for _, im := range sims {
 		if im != nil {

@@ -5,6 +5,7 @@ import (
 
 	"aspp/internal/bgp"
 	"aspp/internal/core"
+	"aspp/internal/obs"
 	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
@@ -30,10 +31,16 @@ import (
 // per-neighbor prepending or withheld sessions, so callers with such
 // scenarios must bypass the cache (pass a nil baseline downstream).
 type BaselineCache struct {
-	g  *topology.Graph
-	mu sync.Mutex
-	m  map[baselineKey]*baselineEntry
+	g   *topology.Graph
+	obs *obs.Counters
+	mu  sync.Mutex
+	m   map[baselineKey]*baselineEntry
 }
+
+// baselineOnly computes one cache entry. It is a package variable only so
+// fault-injection tests can force a deterministic per-victim baseline
+// failure; production code never reassigns it.
+var baselineOnly = core.BaselineOnly
 
 type baselineKey struct {
 	origin bgp.ASN
@@ -48,7 +55,17 @@ type baselineEntry struct {
 
 // NewBaselineCache returns an empty cache bound to g.
 func NewBaselineCache(g *topology.Graph) *BaselineCache {
-	return &BaselineCache{g: g, m: make(map[baselineKey]*baselineEntry)}
+	return NewBaselineCacheObs(g, nil)
+}
+
+// NewBaselineCacheObs is NewBaselineCache recording cache hits/misses and
+// baseline propagations into the optional counters (nil disables
+// recording). A miss is the Get that creates an entry; concurrent Gets for
+// the same key that arrive while the single computation runs count as
+// hits, so hits+misses always equals the number of Get calls and misses
+// equals the number of distinct keys — both deterministic.
+func NewBaselineCacheObs(g *topology.Graph, c *obs.Counters) *BaselineCache {
+	return &BaselineCache{g: g, obs: c, m: make(map[baselineKey]*baselineEntry)}
 }
 
 // Get returns the no-attack baseline for origin announcing with λ = lambda
@@ -63,14 +80,20 @@ func (c *BaselineCache) Get(origin bgp.ASN, lambda int) (*routing.Result, error)
 	if e == nil {
 		e = &baselineEntry{}
 		c.m[key] = e
+		c.obs.AddBaselineMisses(1)
+	} else {
+		c.obs.AddBaselineHits(1)
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = core.BaselineOnly(c.g, core.Scenario{
+		e.res, e.err = baselineOnly(c.g, core.Scenario{
 			Victim:  origin,
 			Prepend: lambda,
 			// Attacker is irrelevant to the baseline; left zero.
 		})
+		if e.err == nil {
+			c.obs.AddBasePropagations(1)
+		}
 	})
 	return e.res, e.err
 }

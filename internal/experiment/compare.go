@@ -10,7 +10,9 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/detect"
+	"aspp/internal/obs"
 	"aspp/internal/parallel"
+	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
 
@@ -35,6 +37,8 @@ type CompareConfig struct {
 	Monitors int // top-degree monitor count for the detectors
 	Seed     int64
 	Workers  int
+	// Counters optionally collects sweep telemetry; nil disables recording.
+	Counters *obs.Counters
 }
 
 // DefaultCompareConfig returns a calibrated comparison setup.
@@ -63,45 +67,67 @@ func CompareAttackTypesCtx(ctx context.Context, g *topology.Graph, cfg CompareCo
 	asns := g.ASNs()
 
 	// Shared pairs: each must make the ASPP attack effective so all three
-	// families face the same instances.
+	// families face the same instances. Drawn in chunks of cfg.Pairs from
+	// one rng stream — the k-th candidate is chunking-independent, so the
+	// usable set matches a draw-everything-upfront sweep while stopping
+	// after ≈Pairs simulations instead of the full 30× retry budget.
 	type pair struct{ v, m bgp.ASN }
 	var pairs []pair
 	budget := cfg.Pairs * 30
-	candidates := make([]pair, 0, budget)
-	for len(candidates) < budget {
-		v := asns[rng.Intn(len(asns))]
-		m := asns[rng.Intn(len(asns))]
-		if v != m {
-			candidates = append(candidates, pair{v, m})
+	drawn := 0
+	nextChunk := func(size int) []pair {
+		chunk := make([]pair, 0, size)
+		for len(chunk) < size && drawn < budget {
+			v := asns[rng.Intn(len(asns))]
+			m := asns[rng.Intn(len(asns))]
+			if v != m {
+				chunk = append(chunk, pair{v, m})
+				drawn++
+			}
 		}
+		return chunk
 	}
-	cache := NewBaselineCache(g)
-	aspp, cerr := parallel.MapCtx(ctx, len(candidates), cfg.Workers, func(i int) *core.Impact {
-		base, err := cache.Get(candidates[i].v, cfg.Prepend)
-		if err != nil {
-			return nil
-		}
-		im, err := core.SimulateWithBaseline(g, core.Scenario{
-			Victim:            candidates[i].v,
-			Attacker:          candidates[i].m,
-			Prepend:           cfg.Prepend,
-			ViolateValleyFree: true,
-		}, base)
-		if err != nil || len(im.NewlyPolluted()) == 0 {
-			return nil
-		}
-		return im
-	})
-	if cerr != nil {
-		return nil, fmt.Errorf("experiment: comparison sweep cancelled: %w", cerr)
-	}
+	cache := NewBaselineCacheObs(g, cfg.Counters)
 	var impacts []*core.Impact
-	for i, im := range aspp {
-		if im != nil {
-			impacts = append(impacts, im)
-			pairs = append(pairs, candidates[i])
-			if len(impacts) == cfg.Pairs {
-				break
+	for len(impacts) < cfg.Pairs {
+		chunk := nextChunk(cfg.Pairs)
+		if len(chunk) == 0 {
+			break // retry budget exhausted
+		}
+		aspp, cerr := parallel.MapErr(ctx, len(chunk), cfg.Workers, func(i int) (*core.Impact, error) {
+			base, err := cache.Get(chunk[i].v, cfg.Prepend)
+			if err != nil {
+				return nil, baselineError(chunk[i].v, cfg.Prepend, err)
+			}
+			im, err := core.SimulateWithBaselineObs(g, core.Scenario{
+				Victim:            chunk[i].v,
+				Attacker:          chunk[i].m,
+				Prepend:           cfg.Prepend,
+				ViolateValleyFree: true,
+			}, base, cfg.Counters)
+			if routing.Skippable(err) {
+				cfg.Counters.AddSkippedUnreachable(1)
+				return nil, nil // skippable draw; redrawn from the stream
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pair %v/%v: %w", chunk[i].v, chunk[i].m, err)
+			}
+			if len(im.NewlyPolluted()) == 0 {
+				cfg.Counters.AddSkippedIneffective(1)
+				return nil, nil // no-op attack: nothing to compare or detect
+			}
+			return im, nil
+		})
+		if cerr != nil {
+			return nil, sweepError("comparison sweep", cerr)
+		}
+		for i, im := range aspp {
+			if im != nil {
+				impacts = append(impacts, im)
+				pairs = append(pairs, chunk[i])
+				if len(impacts) == cfg.Pairs {
+					break
+				}
 			}
 		}
 	}
@@ -129,17 +155,19 @@ func CompareAttackTypesCtx(ctx context.Context, g *topology.Graph, cfg CompareCo
 	finishComparison(&asppCmp)
 	out = append(out, asppCmp)
 
-	// The two forged-announcement baselines.
+	// The two forged-announcement baselines. The pairs already proved
+	// usable for ASPP, so there is nothing left to redraw: any failure
+	// here is a propagation bug and aborts the comparison.
 	for _, typ := range []core.AttackType{core.AttackOriginHijack, core.AttackNextHopInterception} {
-		results, cerr := parallel.MapCtx(ctx, len(pairs), cfg.Workers, func(i int) *core.BaselineImpact {
+		results, cerr := parallel.MapErr(ctx, len(pairs), cfg.Workers, func(i int) (*core.BaselineImpact, error) {
 			bi, err := core.SimulateBaseline(g, typ, pairs[i].v, pairs[i].m, cfg.Prepend)
 			if err != nil {
-				return nil
+				return nil, fmt.Errorf("%v pair %v/%v: %w", typ, pairs[i].v, pairs[i].m, err)
 			}
-			return bi
+			return bi, nil
 		})
 		if cerr != nil {
-			return nil, fmt.Errorf("experiment: comparison sweep cancelled: %w", cerr)
+			return nil, sweepError("comparison sweep", cerr)
 		}
 		cmp := AttackComparison{Type: typ}
 		for _, bi := range results {

@@ -9,7 +9,9 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/detect"
+	"aspp/internal/obs"
 	"aspp/internal/parallel"
+	"aspp/internal/routing"
 	"aspp/internal/topology"
 )
 
@@ -52,6 +54,8 @@ type DetectionConfig struct {
 	LatencyMonitors int
 	Seed            int64
 	Workers         int
+	// Counters optionally collects sweep telemetry; nil disables recording.
+	Counters *obs.Counters
 }
 
 // DefaultDetectionConfig mirrors the paper's setup.
@@ -114,45 +118,69 @@ func RunDetectionCtx(ctx context.Context, g *topology.Graph, cfg DetectionConfig
 		rels = g
 	}
 
-	// Draw pairs: victims and attackers uniform over all ASes.
+	// Draw pairs — victims and attackers uniform over all ASes — in chunks
+	// of cfg.Pairs from one rng stream, stopping once cfg.Pairs usable
+	// attacks exist. The k-th candidate is identical regardless of the
+	// chunking, so the usable set matches a draw-everything-upfront sweep;
+	// the 20× budget only bounds how far redraws may reach.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	asns := g.ASNs()
 	type pair struct{ v, m bgp.ASN }
 	budget := cfg.Pairs * 20
-	candidates := make([]pair, 0, budget)
-	for len(candidates) < budget {
-		v := asns[rng.Intn(len(asns))]
-		m := asns[rng.Intn(len(asns))]
-		if v != m {
-			candidates = append(candidates, pair{v, m})
+	drawn := 0
+	nextChunk := func(size int) []pair {
+		chunk := make([]pair, 0, size)
+		for len(chunk) < size && drawn < budget {
+			v := asns[rng.Intn(len(asns))]
+			m := asns[rng.Intn(len(asns))]
+			if v != m {
+				chunk = append(chunk, pair{v, m})
+				drawn++
+			}
 		}
+		return chunk
 	}
-	cache := NewBaselineCache(g)
-	impacts, cerr := parallel.MapCtx(ctx, len(candidates), cfg.Workers, func(i int) *core.Impact {
-		base, err := cache.Get(candidates[i].v, cfg.Prepend)
-		if err != nil {
-			return nil
-		}
-		im, err := core.SimulateWithBaseline(g, core.Scenario{
-			Victim:            candidates[i].v,
-			Attacker:          candidates[i].m,
-			Prepend:           cfg.Prepend,
-			ViolateValleyFree: cfg.Violate,
-		}, base)
-		if err != nil {
-			return nil
-		}
-		return im
-	})
-	if cerr != nil {
-		return nil, fmt.Errorf("experiment: detection sweep cancelled: %w", cerr)
-	}
+	cache := NewBaselineCacheObs(g, cfg.Counters)
 	// Usable attacks must actually capture someone: an attack that
 	// changes no routes is a no-op — unobservable and harmless — and
 	// would only dilute the accuracy denominator.
 	usable := make([]*core.Impact, 0, cfg.Pairs)
-	for _, im := range impacts {
-		if im != nil && len(im.NewlyPolluted()) > 0 {
+	for len(usable) < cfg.Pairs {
+		chunk := nextChunk(cfg.Pairs)
+		if len(chunk) == 0 {
+			break // retry budget exhausted
+		}
+		impacts, cerr := parallel.MapErr(ctx, len(chunk), cfg.Workers, func(i int) (*core.Impact, error) {
+			base, err := cache.Get(chunk[i].v, cfg.Prepend)
+			if err != nil {
+				return nil, baselineError(chunk[i].v, cfg.Prepend, err)
+			}
+			im, err := core.SimulateWithBaselineObs(g, core.Scenario{
+				Victim:            chunk[i].v,
+				Attacker:          chunk[i].m,
+				Prepend:           cfg.Prepend,
+				ViolateValleyFree: cfg.Violate,
+			}, base, cfg.Counters)
+			if routing.Skippable(err) {
+				cfg.Counters.AddSkippedUnreachable(1)
+				return nil, nil // skippable draw; redrawn from the stream
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pair %v/%v: %w", chunk[i].v, chunk[i].m, err)
+			}
+			return im, nil
+		})
+		if cerr != nil {
+			return nil, sweepError("detection sweep", cerr)
+		}
+		for _, im := range impacts {
+			if im == nil {
+				continue
+			}
+			if len(im.NewlyPolluted()) == 0 {
+				cfg.Counters.AddSkippedIneffective(1)
+				continue
+			}
 			usable = append(usable, im)
 			if len(usable) == cfg.Pairs {
 				break

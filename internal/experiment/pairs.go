@@ -15,6 +15,7 @@ import (
 
 	"aspp/internal/bgp"
 	"aspp/internal/core"
+	"aspp/internal/obs"
 	"aspp/internal/parallel"
 	"aspp/internal/routing"
 	"aspp/internal/topology"
@@ -53,6 +54,10 @@ type PairConfig struct {
 	// -engine ablation). The zero value EngineAuto runs incremental
 	// delta propagation against the cached baselines.
 	Engine core.EngineKind
+	// Counters optionally collects sweep telemetry (propagations per
+	// engine, cache hits, skipped draws). One Counters per sweep; nil
+	// disables recording.
+	Counters *obs.Counters
 }
 
 // SamplePairs simulates cfg.N interception instances with independently
@@ -69,6 +74,14 @@ func SamplePairs(g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
 // (victim, λ) in a BaselineCache shared read-only across workers. On
 // cancellation it returns (nil, ctx.Err()): in-flight instances drain
 // deterministically but no partial ranking is produced.
+//
+// Candidates are drained in chunks of N from one deterministic draw
+// stream, stopping as soon as N usable instances exist — with no skipped
+// draws the sweep runs ≈N propagations, not the full 20N retry budget
+// (the budget only bounds how far redraws may reach). Error contract
+// (DESIGN §6): an unreachable attacker is a skippable draw, redrawn from
+// the stream and counted; a baseline failure (ErrBaselineFailed) or any
+// other propagation error aborts the sweep.
 func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]PairImpact, error) {
 	if cfg.N <= 0 {
 		return nil, errors.New("experiment: N must be positive")
@@ -89,67 +102,89 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 		return nil, fmt.Errorf("experiment: unknown pair kind %d", cfg.Kind)
 	}
 
-	// Draw candidate pairs up front so the simulation fan-out is
-	// deterministic regardless of worker interleaving.
+	// Candidates come from one rng stream regardless of chunking, so the
+	// k-th candidate is identical whether the sweep simulates one chunk or
+	// the whole budget — determinism is in the stream, not the batching.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	budget := cfg.N * 20
 	type pair struct{ v, m bgp.ASN }
-	candidates := make([]pair, 0, budget)
-	seen := make(map[pair]bool, budget)
-	for len(candidates) < budget {
-		v := pool[rng.Intn(len(pool))]
-		m := pool[rng.Intn(len(pool))]
-		if v == m {
-			continue
+	var (
+		drawn      int
+		seen       = make(map[pair]bool, cfg.N)
+		maxOrdered = len(pool) * (len(pool) - 1)
+		exhausted  bool
+	)
+	nextChunk := func(size int) []pair {
+		chunk := make([]pair, 0, size)
+		for len(chunk) < size && drawn < budget && !exhausted {
+			v := pool[rng.Intn(len(pool))]
+			m := pool[rng.Intn(len(pool))]
+			if v == m {
+				continue
+			}
+			p := pair{v, m}
+			if cfg.Kind == PairsTier1 && seen[p] {
+				continue // tier-1 pool is small; avoid duplicate instances
+			}
+			seen[p] = true
+			chunk = append(chunk, p)
+			drawn++
+			if cfg.Kind == PairsTier1 && len(seen) == maxOrdered {
+				exhausted = true // all ordered tier-1 pairs drawn
+			}
 		}
-		p := pair{v, m}
-		if cfg.Kind == PairsTier1 && seen[p] {
-			continue // tier-1 pool is small; avoid duplicate instances
-		}
-		seen[p] = true
-		candidates = append(candidates, p)
-		if cfg.Kind == PairsTier1 && len(seen) == len(pool)*(len(pool)-1) {
-			break // exhausted all ordered tier-1 pairs
-		}
+		return chunk
 	}
 
-	cache := NewBaselineCache(g)
-	results, cerr := parallel.MapScratch(ctx, len(candidates), cfg.Workers, routing.NewScratch,
-		func(s *routing.Scratch, i int) *PairImpact {
-			p := candidates[i]
-			base, err := cache.Get(p.v, cfg.Prepend)
-			if err != nil {
-				return nil
-			}
-			c, err := core.SimulateCountsEngine(g, core.Scenario{
-				Victim:            p.v,
-				Attacker:          p.m,
-				Prepend:           cfg.Prepend,
-				ViolateValleyFree: cfg.Violate,
-			}, base, s, cfg.Engine)
-			if err != nil {
-				return nil // unreachable attacker etc.: skip this draw
-			}
-			return &PairImpact{
-				Victim:     p.v,
-				Attacker:   p.m,
-				VictimTier: g.Tier(p.v),
-				AttackTier: g.Tier(p.m),
-				Before:     c.Before(),
-				After:      c.After(),
-			}
-		})
-	if cerr != nil {
-		return nil, fmt.Errorf("experiment: pair sweep cancelled: %w", cerr)
-	}
+	cache := NewBaselineCacheObs(g, cfg.Counters)
 	out := make([]PairImpact, 0, cfg.N)
-	for _, r := range results {
-		if r == nil {
-			continue
+	for len(out) < cfg.N {
+		chunk := nextChunk(cfg.N)
+		if len(chunk) == 0 {
+			break // retry budget or pair space exhausted
 		}
-		out = append(out, *r)
-		if len(out) == cfg.N {
-			break
+		results, cerr := parallel.MapScratchErr(ctx, len(chunk), cfg.Workers, routing.NewScratch,
+			func(s *routing.Scratch, i int) (*PairImpact, error) {
+				p := chunk[i]
+				base, err := cache.Get(p.v, cfg.Prepend)
+				if err != nil {
+					// Fatal: the failure is per-victim and memoized — it
+					// would repeat for every pair sharing this victim.
+					return nil, baselineError(p.v, cfg.Prepend, err)
+				}
+				c, err := core.SimulateCountsEngineObs(g, core.Scenario{
+					Victim:            p.v,
+					Attacker:          p.m,
+					Prepend:           cfg.Prepend,
+					ViolateValleyFree: cfg.Violate,
+				}, base, s, cfg.Engine, cfg.Counters)
+				if routing.Skippable(err) {
+					cfg.Counters.AddSkippedUnreachable(1)
+					return nil, nil // skippable draw; redrawn from the stream
+				}
+				if err != nil {
+					return nil, fmt.Errorf("pair %v/%v: %w", p.v, p.m, err)
+				}
+				return &PairImpact{
+					Victim:     p.v,
+					Attacker:   p.m,
+					VictimTier: g.Tier(p.v),
+					AttackTier: g.Tier(p.m),
+					Before:     c.Before(),
+					After:      c.After(),
+				}, nil
+			})
+		if cerr != nil {
+			return nil, sweepError("pair sweep", cerr)
+		}
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			out = append(out, *r)
+			if len(out) == cfg.N {
+				break
+			}
 		}
 	}
 	if len(out) < cfg.N {
@@ -188,42 +223,60 @@ func SweepPrependCtx(ctx context.Context, g *topology.Graph, victim, attacker bg
 }
 
 // SweepPrependEngineCtx is SweepPrependCtx with an explicit engine choice
-// (the asppbench -engine ablation). Each λ step's no-attack baseline is
-// memoized per (victim, λ) in a BaselineCache and the attack leg is
-// recomputed against it — incrementally under the delta engine, which
-// only re-walks the attacker's cone.
+// (the asppbench -engine ablation).
 func SweepPrependEngineCtx(ctx context.Context, g *topology.Graph, victim, attacker bgp.ASN, maxLambda int, violate bool, workers int, engine core.EngineKind) ([]SweepPoint, error) {
-	if maxLambda < 1 {
+	return SweepPrependCfgCtx(ctx, g, SweepConfig{
+		Victim:    victim,
+		Attacker:  attacker,
+		MaxLambda: maxLambda,
+		Violate:   violate,
+		Workers:   workers,
+		Engine:    engine,
+	})
+}
+
+// SweepConfig parameterizes SweepPrependCfgCtx.
+type SweepConfig struct {
+	Victim, Attacker bgp.ASN
+	MaxLambda        int
+	Violate          bool
+	Workers          int
+	Engine           core.EngineKind
+	// Counters optionally collects sweep telemetry; nil disables recording.
+	Counters *obs.Counters
+}
+
+// SweepPrependCfgCtx simulates one victim/attacker pair for
+// λ = 1..MaxLambda. Each λ step's no-attack baseline is memoized per
+// (victim, λ) in a BaselineCache and the attack leg is recomputed against
+// it — incrementally under the delta engine, which only re-walks the
+// attacker's cone. For a single fixed pair there is nothing to redraw, so
+// the error contract is all-fatal: any step failing (even an unreachable
+// attacker) aborts the sweep with the lowest-λ error.
+func SweepPrependCfgCtx(ctx context.Context, g *topology.Graph, cfg SweepConfig) ([]SweepPoint, error) {
+	if cfg.MaxLambda < 1 {
 		return nil, errors.New("experiment: maxLambda must be >= 1")
 	}
-	cache := NewBaselineCache(g)
-	errs := make([]error, maxLambda)
-	points, cerr := parallel.MapScratch(ctx, maxLambda, workers, routing.NewScratch,
-		func(s *routing.Scratch, i int) SweepPoint {
-			base, err := cache.Get(victim, i+1)
+	cache := NewBaselineCacheObs(g, cfg.Counters)
+	points, cerr := parallel.MapScratchErr(ctx, cfg.MaxLambda, cfg.Workers, routing.NewScratch,
+		func(s *routing.Scratch, i int) (SweepPoint, error) {
+			base, err := cache.Get(cfg.Victim, i+1)
 			if err != nil {
-				errs[i] = err
-				return SweepPoint{Lambda: i + 1}
+				return SweepPoint{}, baselineError(cfg.Victim, i+1, err)
 			}
-			c, err := core.SimulateCountsEngine(g, core.Scenario{
-				Victim:            victim,
-				Attacker:          attacker,
+			c, err := core.SimulateCountsEngineObs(g, core.Scenario{
+				Victim:            cfg.Victim,
+				Attacker:          cfg.Attacker,
 				Prepend:           i + 1,
-				ViolateValleyFree: violate,
-			}, base, s, engine)
+				ViolateValleyFree: cfg.Violate,
+			}, base, s, cfg.Engine, cfg.Counters)
 			if err != nil {
-				errs[i] = err
-				return SweepPoint{Lambda: i + 1}
+				return SweepPoint{}, fmt.Errorf("λ=%d: %w", i+1, err)
 			}
-			return SweepPoint{Lambda: i + 1, Before: c.Before(), After: c.After()}
+			return SweepPoint{Lambda: i + 1, Before: c.Before(), After: c.After()}, nil
 		})
 	if cerr != nil {
-		return nil, fmt.Errorf("experiment: sweep %v/%v cancelled: %w", victim, attacker, cerr)
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep %v/%v: %w", victim, attacker, err)
-		}
+		return nil, sweepError(fmt.Sprintf("sweep %v/%v", cfg.Victim, cfg.Attacker), cerr)
 	}
 	return points, nil
 }
@@ -280,7 +333,12 @@ func PickContentStub(g *topology.Graph) (bgp.ASN, error) {
 // skipping the content stub, for the small-vs-small scenario (Fig. 12).
 func PickStub(g *topology.Graph, seed int64) (bgp.ASN, error) {
 	var stubs []bgp.ASN
-	content, _ := PickContentStub(g)
+	content, err := PickContentStub(g)
+	if err != nil {
+		// No stub exists at all, so the filtered pool below is empty too;
+		// fail with the cause instead of masking it.
+		return 0, fmt.Errorf("experiment: picking stub: %w", err)
+	}
 	for _, asn := range g.ASNs() {
 		if g.IsStub(asn) && g.Tier(asn) > 1 && asn != content && len(g.Providers(asn)) >= 2 {
 			stubs = append(stubs, asn)

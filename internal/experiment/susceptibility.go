@@ -9,6 +9,7 @@ import (
 
 	"aspp/internal/bgp"
 	"aspp/internal/core"
+	"aspp/internal/obs"
 	"aspp/internal/parallel"
 	"aspp/internal/routing"
 	"aspp/internal/topology"
@@ -37,6 +38,8 @@ type SusceptibilityConfig struct {
 	// Engine selects the attack-propagation engine; the zero value
 	// EngineAuto runs delta propagation against the cached baselines.
 	Engine core.EngineKind
+	// Counters optionally collects sweep telemetry; nil disables recording.
+	Counters *obs.Counters
 }
 
 // DefaultSusceptibilityConfig returns the calibrated setup. The matrix
@@ -108,26 +111,30 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 			}
 		}
 	}
-	cache := NewBaselineCache(g)
-	fractions, cerr := parallel.MapScratch(ctx, len(jobs), cfg.Workers, routing.NewScratch,
-		func(s *routing.Scratch, i int) float64 {
+	cache := NewBaselineCacheObs(g, cfg.Counters)
+	fractions, cerr := parallel.MapScratchErr(ctx, len(jobs), cfg.Workers, routing.NewScratch,
+		func(s *routing.Scratch, i int) (float64, error) {
 			base, err := cache.Get(jobs[i].v, cfg.Prepend)
 			if err != nil {
-				return -1
+				return -1, baselineError(jobs[i].v, cfg.Prepend, err)
 			}
-			c, err := core.SimulateCountsEngine(g, core.Scenario{
+			c, err := core.SimulateCountsEngineObs(g, core.Scenario{
 				Victim:            jobs[i].v,
 				Attacker:          jobs[i].m,
 				Prepend:           cfg.Prepend,
 				ViolateValleyFree: cfg.Violate,
-			}, base, s, cfg.Engine)
-			if err != nil {
-				return -1
+			}, base, s, cfg.Engine, cfg.Counters)
+			if routing.Skippable(err) {
+				cfg.Counters.AddSkippedUnreachable(1)
+				return -1, nil // skippable draw; the cell oversamples
 			}
-			return c.After()
+			if err != nil {
+				return -1, fmt.Errorf("pair %v/%v: %w", jobs[i].v, jobs[i].m, err)
+			}
+			return c.After(), nil
 		})
 	if cerr != nil {
-		return nil, fmt.Errorf("experiment: susceptibility sweep cancelled: %w", cerr)
+		return nil, sweepError("susceptibility sweep", cerr)
 	}
 
 	cells := make(map[[2]int]*TierCell)

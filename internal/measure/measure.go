@@ -5,12 +5,14 @@
 package measure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"aspp/internal/bgp"
 	"aspp/internal/collector"
+	"aspp/internal/obs"
 	"aspp/internal/parallel"
 	"aspp/internal/routing"
 	"aspp/internal/stats"
@@ -34,6 +36,9 @@ type SurveyConfig struct {
 	// with identical announcements (on by default in DefaultSurveyConfig;
 	// the ablation benchmark turns it off).
 	Memoize bool
+	// Counters optionally collects survey telemetry (propagations, churn
+	// updates emitted); nil disables recording.
+	Counters *obs.Counters
 }
 
 // DefaultSurveyConfig returns the standard survey setup.
@@ -150,7 +155,7 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 		maxPrep []int16 // max run in the path (prepending by origin only here)
 		nPfx    int
 	}
-	perOrigin := parallel.Map(len(origins), cfg.Workers, func(i int) originTables {
+	perOrigin, perr := parallel.MapErr(context.Background(), len(origins), cfg.Workers, func(i int) (originTables, error) {
 		oc := origins[i]
 		runs := 1
 		if !cfg.Memoize {
@@ -161,10 +166,12 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 		for r := 0; r < runs; r++ {
 			rt, err := routing.Propagate(g, oc.Announcement)
 			if err != nil {
-				// Origins are validated at assignment; a failure here is
-				// a programming error surfaced by tests.
-				panic(fmt.Sprintf("measure: propagate %v: %v", oc.AS, err))
+				// Origins are validated at assignment, so this indicates a
+				// propagation bug; fail the survey instead of panicking the
+				// worker pool.
+				return ot, fmt.Errorf("measure: propagate %v: %w", oc.AS, err)
 			}
+			cfg.Counters.AddBasePropagations(1)
 			if r > 0 {
 				continue // identical result; the extra runs are the ablation cost
 			}
@@ -179,8 +186,11 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 				ot.maxPrep[mi] = rt.Prep[idx]
 			}
 		}
-		return ot
+		return ot, nil
 	})
+	if perr != nil {
+		return nil, perr
+	}
 
 	// Aggregate table stats per monitor.
 	total := make([]int, len(monitors))
@@ -229,7 +239,7 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 		dist             *stats.Histogram
 		updates          int
 	}
-	perEvent := parallel.Map(len(events), cfg.Workers, func(i int) updStats {
+	perEvent, perr := parallel.MapErr(context.Background(), len(events), cfg.Workers, func(i int) (updStats, error) {
 		ev := events[i]
 		oc := byAS[ev.Origin]
 		weight := len(oc.Prefixes)
@@ -242,8 +252,9 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 		failedAnn.Withhold = map[bgp.ASN]bool{ev.Primary: true}
 		failed, err := routing.Propagate(g, failedAnn)
 		if err != nil {
-			panic(fmt.Sprintf("measure: churn propagate %v: %v", oc.AS, err))
+			return us, fmt.Errorf("measure: churn propagate %v: %w", oc.AS, err)
 		}
+		cfg.Counters.AddBasePropagations(1)
 		steady := perOrigin[originPos[ev.Origin]]
 		for mi, idx := range monIdx {
 			before := int16(-1)
@@ -270,13 +281,17 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 				}
 			}
 		}
-		return us
+		return us, nil
 	})
+	if perr != nil {
+		return nil, perr
+	}
 	updTotal := make([]int, len(monitors))
 	updPrepended := make([]int, len(monitors))
 	for _, us := range perEvent {
 		res.UpdatePrependDist.Merge(us.dist)
 		res.Updates += us.updates
+		cfg.Counters.AddChurnUpdates(int64(us.updates))
 		for mi := range monIdx {
 			updTotal[mi] += us.total[mi]
 			updPrepended[mi] += us.prepended[mi]

@@ -1,0 +1,158 @@
+// Package obs provides lightweight sweep telemetry: cheap atomic counters
+// that the experiment drivers thread through their propagation fan-outs.
+// Operational pathologies — an overdrawn candidate budget simulating 20×
+// the requested instances, a thrashing baseline cache, draws silently
+// skipped — become visible in driver output (asppbench/asppsim -counters)
+// instead of only in a profiler.
+//
+// Ownership contract: one Counters per sweep. The drivers never share a
+// Counters across independent sweeps; callers that run several sweeps and
+// want one report merge the per-sweep counters with Merge, which is
+// deterministic (plain sums) regardless of sweep scheduling.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates one sweep's telemetry. The zero value is ready to
+// use. Every method is safe for concurrent use and nil-safe, so drivers
+// thread an optional *Counters unconditionally — a nil receiver makes all
+// recording free no-ops.
+type Counters struct {
+	basePropagations   atomic.Int64
+	fullPropagations   atomic.Int64
+	deltaPropagations  atomic.Int64
+	baselineHits       atomic.Int64
+	baselineMisses     atomic.Int64
+	skippedUnreachable atomic.Int64
+	skippedIneffective atomic.Int64
+	churnUpdates       atomic.Int64
+}
+
+// AddBasePropagations records n no-attack (baseline) propagations.
+func (c *Counters) AddBasePropagations(n int64) {
+	if c != nil {
+		c.basePropagations.Add(n)
+	}
+}
+
+// AddFullPropagations records n full (or message-level reference) attack
+// propagations.
+func (c *Counters) AddFullPropagations(n int64) {
+	if c != nil {
+		c.fullPropagations.Add(n)
+	}
+}
+
+// AddDeltaPropagations records n incremental delta attack propagations.
+func (c *Counters) AddDeltaPropagations(n int64) {
+	if c != nil {
+		c.deltaPropagations.Add(n)
+	}
+}
+
+// AddBaselineHits records n baseline-cache hits.
+func (c *Counters) AddBaselineHits(n int64) {
+	if c != nil {
+		c.baselineHits.Add(n)
+	}
+}
+
+// AddBaselineMisses records n baseline-cache misses.
+func (c *Counters) AddBaselineMisses(n int64) {
+	if c != nil {
+		c.baselineMisses.Add(n)
+	}
+}
+
+// AddSkippedUnreachable records n draws skipped because the attacker never
+// receives the victim's route (the skippable sentinel class).
+func (c *Counters) AddSkippedUnreachable(n int64) {
+	if c != nil {
+		c.skippedUnreachable.Add(n)
+	}
+}
+
+// AddSkippedIneffective records n draws skipped because the attack
+// captured nobody (a no-op instance with nothing to detect).
+func (c *Counters) AddSkippedIneffective(n int64) {
+	if c != nil {
+		c.skippedIneffective.Add(n)
+	}
+}
+
+// AddChurnUpdates records n monitor update announcements emitted.
+func (c *Counters) AddChurnUpdates(n int64) {
+	if c != nil {
+		c.churnUpdates.Add(n)
+	}
+}
+
+// Merge adds o's counts into c (both sides nil-safe). Merging per-sweep
+// counters is deterministic: addition commutes, so any merge order yields
+// the same totals.
+func (c *Counters) Merge(o *Counters) {
+	if c == nil || o == nil {
+		return
+	}
+	s := o.Snapshot()
+	c.basePropagations.Add(s.BasePropagations)
+	c.fullPropagations.Add(s.FullPropagations)
+	c.deltaPropagations.Add(s.DeltaPropagations)
+	c.baselineHits.Add(s.BaselineHits)
+	c.baselineMisses.Add(s.BaselineMisses)
+	c.skippedUnreachable.Add(s.SkippedUnreachable)
+	c.skippedIneffective.Add(s.SkippedIneffective)
+	c.churnUpdates.Add(s.ChurnUpdates)
+}
+
+// Snapshot is a point-in-time copy of a Counters, safe to compare and
+// format without further synchronization.
+type Snapshot struct {
+	BasePropagations   int64
+	FullPropagations   int64
+	DeltaPropagations  int64
+	BaselineHits       int64
+	BaselineMisses     int64
+	SkippedUnreachable int64
+	SkippedIneffective int64
+	ChurnUpdates       int64
+}
+
+// Snapshot reads all counters. A nil receiver yields the zero Snapshot.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		BasePropagations:   c.basePropagations.Load(),
+		FullPropagations:   c.fullPropagations.Load(),
+		DeltaPropagations:  c.deltaPropagations.Load(),
+		BaselineHits:       c.baselineHits.Load(),
+		BaselineMisses:     c.baselineMisses.Load(),
+		SkippedUnreachable: c.skippedUnreachable.Load(),
+		SkippedIneffective: c.skippedIneffective.Load(),
+		ChurnUpdates:       c.churnUpdates.Load(),
+	}
+}
+
+// AttackPropagations is the total attack-leg propagation count across
+// engines — the number the candidate-budget pinning tests bound.
+func (s Snapshot) AttackPropagations() int64 {
+	return s.FullPropagations + s.DeltaPropagations
+}
+
+// String formats the snapshot as one stable key=value line (the
+// -counters output format).
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"prop_base=%d prop_full=%d prop_delta=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
+		s.BasePropagations, s.FullPropagations, s.DeltaPropagations,
+		s.BaselineHits, s.BaselineMisses,
+		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates)
+}
+
+// String formats the current counts; nil-safe.
+func (c *Counters) String() string { return c.Snapshot().String() }

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilCountersAreNoOps: every method must be callable on a nil
+// *Counters so drivers can thread an optional counter unconditionally.
+func TestNilCountersAreNoOps(t *testing.T) {
+	var c *Counters
+	c.AddBasePropagations(1)
+	c.AddFullPropagations(1)
+	c.AddDeltaPropagations(1)
+	c.AddBaselineHits(1)
+	c.AddBaselineMisses(1)
+	c.AddSkippedUnreachable(1)
+	c.AddSkippedIneffective(1)
+	c.AddChurnUpdates(1)
+	c.Merge(&Counters{})
+	(&Counters{}).Merge(c)
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("nil Snapshot()=%+v, want zero", got)
+	}
+	if c.String() == "" {
+		t.Fatal("nil String() must still format")
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	var a, b Counters
+	a.AddBasePropagations(2)
+	a.AddFullPropagations(3)
+	a.AddDeltaPropagations(5)
+	b.AddBaselineHits(7)
+	b.AddBaselineMisses(11)
+	b.AddSkippedUnreachable(13)
+	b.AddSkippedIneffective(17)
+	b.AddChurnUpdates(19)
+	a.Merge(&b)
+	got := a.Snapshot()
+	want := Snapshot{
+		BasePropagations:   2,
+		FullPropagations:   3,
+		DeltaPropagations:  5,
+		BaselineHits:       7,
+		BaselineMisses:     11,
+		SkippedUnreachable: 13,
+		SkippedIneffective: 17,
+		ChurnUpdates:       19,
+	}
+	if got != want {
+		t.Fatalf("Snapshot()=%+v, want %+v", got, want)
+	}
+	if got.AttackPropagations() != 8 {
+		t.Fatalf("AttackPropagations()=%d, want 8", got.AttackPropagations())
+	}
+	// b is unchanged by the merge.
+	if b.Snapshot().BaselineHits != 7 {
+		t.Fatalf("Merge mutated the source: %+v", b.Snapshot())
+	}
+}
+
+// TestConcurrentAdds exercises the atomic counters under -race and checks
+// the totals are exact.
+func TestConcurrentAdds(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddDeltaPropagations(1)
+				c.AddBaselineHits(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.DeltaPropagations != goroutines*per || s.BaselineHits != 2*goroutines*per {
+		t.Fatalf("Snapshot()=%+v, want exact totals", s)
+	}
+}

@@ -57,6 +57,56 @@ func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, 
 // other scratch object) across its whole share of the work. fn never sees
 // a state concurrently with another call using the same state.
 func ForEachScratch[S any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int)) error {
+	return ForEachScratchErr(ctx, n, workers, newState, func(st S, i int) error {
+		fn(st, i)
+		return nil
+	})
+}
+
+// MapScratch is MapCtx with per-worker reusable state (see ForEachScratch).
+func MapScratch[S, T any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachScratch(ctx, n, workers, newState, func(st S, i int) {
+		out[i] = fn(st, i)
+	})
+	return out, err
+}
+
+// ForEachErr is ForEachCtx with error-returning workers: the first failure
+// (the one at the lowest index, so the returned error is deterministic
+// under any scheduling) stops dispatch of further indices, in-flight calls
+// drain to completion, and that error is returned. Cancellation keeps its
+// usual meaning; when both happen, the worker error wins — it is the more
+// specific report. The early-exit prefix contract is unchanged: processed
+// indices are exactly [0, k) for some k, with the failing index inside the
+// prefix.
+func ForEachErr(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachScratchErr(ctx, n, workers,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// MapErr runs error-returning fn over [0, n) with bounded fan-out,
+// collecting results in index order. The returned slice always has n
+// entries; when err is non-nil only a prefix was computed and the rest
+// hold zero values (a failing index keeps its zero value too).
+func MapErr[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachErr(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// ForEachScratchErr is ForEachScratch with error-returning workers (see
+// ForEachErr for the first-error and prefix semantics). It is the single
+// underlying engine: every other helper in this package delegates here.
+func ForEachScratchErr[S any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -75,22 +125,43 @@ func ForEachScratch[S any](ctx context.Context, n, workers int, newState func() 
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			fn(st, i)
+			if err := fn(st, i); err != nil {
+				return err
+			}
 		}
 		return ctx.Err()
 	}
 	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		done = ctx.Done()
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		done     = ctx.Done()
+		failed   = make(chan struct{})
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
 	)
+	// record keeps the lowest-index error and stops the feeder. Later
+	// failures from in-flight drains can only lower the index, never race
+	// the close.
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			close(failed)
+		}
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			st := newState()
 			for i := range next {
-				fn(st, i)
+				if err := fn(st, i); err != nil {
+					record(i, err)
+				}
 			}
 		}()
 	}
@@ -100,18 +171,29 @@ feed:
 		case next <- i:
 		case <-done:
 			break feed
+		case <-failed:
+			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
 	return ctx.Err()
 }
 
-// MapScratch is MapCtx with per-worker reusable state (see ForEachScratch).
-func MapScratch[S, T any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int) T) ([]T, error) {
+// MapScratchErr is MapErr with per-worker reusable state (see
+// ForEachScratch). The failing index's slot keeps its zero value.
+func MapScratchErr[S, T any](ctx context.Context, n, workers int, newState func() S, fn func(st S, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEachScratch(ctx, n, workers, newState, func(st S, i int) {
-		out[i] = fn(st, i)
+	err := ForEachScratchErr(ctx, n, workers, newState, func(st S, i int) error {
+		v, err := fn(st, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
 	})
 	return out, err
 }

@@ -1,6 +1,7 @@
 package relinfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,10 +19,10 @@ func CollectPaths(g *topology.Graph, origins, monitors []bgp.ASN, workers int) (
 	if len(origins) == 0 || len(monitors) == 0 {
 		return nil, errors.New("relinfer: need origins and monitors")
 	}
-	perOrigin := parallel.Map(len(origins), workers, func(i int) []bgp.Path {
+	perOrigin, perr := parallel.MapErr(context.Background(), len(origins), workers, func(i int) ([]bgp.Path, error) {
 		res, err := routing.Propagate(g, routing.Announcement{Origin: origins[i], Prepend: 1})
 		if err != nil {
-			panic(fmt.Sprintf("relinfer: propagate %v: %v", origins[i], err))
+			return nil, fmt.Errorf("relinfer: propagate %v: %w", origins[i], err)
 		}
 		var out []bgp.Path
 		for _, m := range monitors {
@@ -32,8 +33,11 @@ func CollectPaths(g *topology.Graph, origins, monitors []bgp.ASN, workers int) (
 				out = append(out, p.Prepend(m, 1))
 			}
 		}
-		return out
+		return out, nil
 	})
+	if perr != nil {
+		return nil, perr
+	}
 	var all []bgp.Path
 	for _, ps := range perOrigin {
 		all = append(all, ps...)
@@ -45,16 +49,18 @@ func CollectPaths(g *topology.Graph, origins, monitors []bgp.ASN, workers int) (
 }
 
 // SampleOrigins picks up to n origin ASes spread deterministically over
-// the graph (every k-th AS in index order).
+// the whole graph in index order. The i-th pick is asns[i*len/n], so the
+// sample always spans the full list: an integer step of len/n would
+// degenerate to the first-n prefix whenever n > len/2 (step 1), biasing
+// the inference input toward whatever order ASNs() returns.
 func SampleOrigins(g *topology.Graph, n int) []bgp.ASN {
 	asns := g.ASNs()
 	if n <= 0 || n >= len(asns) {
 		return asns
 	}
 	out := make([]bgp.ASN, 0, n)
-	step := len(asns) / n
-	for i := 0; i < len(asns) && len(out) < n; i += step {
-		out = append(out, asns[i])
+	for i := 0; i < n; i++ {
+		out = append(out, asns[i*len(asns)/n])
 	}
 	return out
 }

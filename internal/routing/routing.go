@@ -156,3 +156,14 @@ func (atk Attacker) keep() int16 {
 // errUnreachableAttacker is returned by PropagateAttack when the attacker
 // has no route to the origin and therefore nothing to strip.
 var ErrUnreachableAttacker = errors.New("routing: attacker has no route to origin")
+
+// Skippable classifies an error for the sweep error contract (DESIGN §6):
+// it reports whether err is a per-draw property of the simulated scenario
+// itself — the attacker never learns the victim's route, so the instance
+// cannot exist — rather than a failure of the propagation machinery.
+// Sweep drivers redraw skippable instances and abort the whole sweep on
+// anything else. core.ErrAttackerSeesNoRoute wraps ErrUnreachableAttacker,
+// so both layers' sentinels match here.
+func Skippable(err error) bool {
+	return errors.Is(err, ErrUnreachableAttacker)
+}
