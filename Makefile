@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race fuzz-smoke bench lint-panics
+.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json lint-panics
 
 # Tier-1 matrix: everything CI gates on.
 check: lint-panics
@@ -9,6 +9,7 @@ check: lint-panics
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/ ./internal/routing/
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+	$(MAKE) bench-smoke
 
 # Sweep workers must return errors, never panic (DESIGN.md §6 "Error
 # contract"): non-test code in the gated packages may not call panic().
@@ -37,3 +38,19 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Every benchmark body runs exactly once, so benchmarks compile and execute
+# on every `make check` and can never bit-rot. Not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable record of the tier-1 benchmark suite: run the root
+# package benchmarks with -benchmem and parse the output into
+# BENCH_pr4.json (benchmark name -> ns/op, B/op, allocs/op; schema in
+# EXPERIMENTS.md). The committed file is the baseline future PRs diff
+# against, e.g. with benchstat (see README).
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr4.json
+	@rm -f .bench.out.tmp
+	@echo wrote BENCH_pr4.json

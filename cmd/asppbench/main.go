@@ -7,6 +7,7 @@
 //
 //	asppbench -exp all
 //	asppbench -exp fig9,fig13 -n 2000 -seed 7
+//	asppbench -exp fig9 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -92,6 +95,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		outDir   = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
 		engine   = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
 		counters = fs.Bool("counters", false, "report per-experiment sweep telemetry (propagations, cache hits, skipped draws)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +105,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	engineKind, err := aspp.ParseEngineKind(*engine)
 	if err != nil {
 		return err
+	}
+
+	// Profiling covers the whole run — topology build included, since that
+	// is part of what the CSR layout work optimizes.
+	if *cpuProf != "" {
+		f, perr := os.Create(*cpuProf)
+		if perr != nil {
+			return perr
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, perr := os.Create(*memProf)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "asppbench: memprofile:", perr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained memory
+			if perr := pprof.WriteHeapProfile(f); perr != nil {
+				fmt.Fprintln(os.Stderr, "asppbench: memprofile:", perr)
+			}
+		}()
 	}
 
 	var internet *aspp.Internet

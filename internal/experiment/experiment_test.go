@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/topology"
 	"aspp/internal/trace"
@@ -176,9 +177,17 @@ func TestSweepViolateBeatsFollowForStubAttacker(t *testing.T) {
 
 func TestPickers(t *testing.T) {
 	g := expGraph(t, 500, 35)
+	before := append([]bgp.ASN(nil), g.Tier1s()...)
 	a, err := PickTier1ByDegree(g, 0)
 	if err != nil || g.Tier(a) != 1 {
 		t.Errorf("PickTier1ByDegree(0) = %v tier %d, err %v", a, g.Tier(a), err)
+	}
+	// Tier1s hands out shared read-only storage; the picker's degree sort
+	// must work on a copy, not reorder the graph's view in place.
+	for i, asn := range g.Tier1s() {
+		if asn != before[i] {
+			t.Fatalf("PickTier1ByDegree reordered g.Tier1s(): %v, want %v", g.Tier1s(), before)
+		}
 	}
 	b, err := PickTier1ByDegree(g, 999)
 	if err != nil || g.Tier(b) != 1 {

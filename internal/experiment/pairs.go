@@ -284,7 +284,8 @@ func SweepPrependCfgCtx(ctx context.Context, g *topology.Graph, cfg SweepConfig)
 // PickTier1ByDegree returns the rank-th highest-degree tier-1 AS (0 = the
 // largest), for the paper's named-AS scenarios ("Sprint hijacks AT&T").
 func PickTier1ByDegree(g *topology.Graph, rank int) (bgp.ASN, error) {
-	t1 := g.Tier1s()
+	// Tier1s returns shared read-only storage; copy before reordering.
+	t1 := append([]bgp.ASN(nil), g.Tier1s()...)
 	if len(t1) == 0 {
 		return 0, errors.New("experiment: no tier-1 ASes")
 	}

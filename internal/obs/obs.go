@@ -16,19 +16,33 @@ import (
 	"sync/atomic"
 )
 
+// lineCounter is an atomic counter padded out to its own cache line.
+// Sweep workers hammer different counters concurrently (one worker mostly
+// bumps deltaPropagations while another bumps baselineHits); packed
+// atomic.Int64 fields would put eight logically-independent counters on a
+// single 64-byte line and turn every increment into cross-core line
+// ping-pong (false sharing). The padding buys independence at 64 bytes per
+// counter — negligible for one Counters per sweep.
+// BenchmarkCountersParallelPadded/Packed in obs_test.go demonstrates the
+// difference.
+type lineCounter struct {
+	atomic.Int64
+	_ [56]byte // pad to 64 bytes: one counter per cache line
+}
+
 // Counters aggregates one sweep's telemetry. The zero value is ready to
 // use. Every method is safe for concurrent use and nil-safe, so drivers
 // thread an optional *Counters unconditionally — a nil receiver makes all
 // recording free no-ops.
 type Counters struct {
-	basePropagations   atomic.Int64
-	fullPropagations   atomic.Int64
-	deltaPropagations  atomic.Int64
-	baselineHits       atomic.Int64
-	baselineMisses     atomic.Int64
-	skippedUnreachable atomic.Int64
-	skippedIneffective atomic.Int64
-	churnUpdates       atomic.Int64
+	basePropagations   lineCounter
+	fullPropagations   lineCounter
+	deltaPropagations  lineCounter
+	baselineHits       lineCounter
+	baselineMisses     lineCounter
+	skippedUnreachable lineCounter
+	skippedIneffective lineCounter
+	churnUpdates       lineCounter
 }
 
 // AddBasePropagations records n no-attack (baseline) propagations.

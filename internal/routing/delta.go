@@ -31,10 +31,19 @@ import (
 // recomputed too, so hidden state is materialized exactly where selection
 // could fall through to it. The differential suite in engines_test.go pins
 // this cone invariant against both other engines.
+//
+// The engine shares the Scratch's fused nodeRec table with the Fast
+// engine for customer and peer entries, and keeps recomputed provider
+// entries in the Scratch's dprov side table (nodeRec has no provider
+// slot; see its doc): entries in both are only read under a touch bit,
+// so they need no reset at all. The dirty/touched bits themselves stay in a packed
+// byte array (the phase scans and neighbor probes hammer it, and packed
+// it stays L1-resident) that is reset in O(cone) by replaying the
+// Scratch's touched list — so setup writes nothing proportional to n.
 
 // Per-AS dirty/touched bits for one delta propagation. A dirty bit queues
 // the AS's table entry for recomputation in the matching phase; a touched
-// bit records that the entry in the Scratch table is authoritative
+// bit records that the entry in the record table is authoritative
 // (untouched entries are read from the baseline instead).
 const (
 	deltaDirtyCust uint8 = 1 << iota
@@ -45,8 +54,8 @@ const (
 	deltaTouchProv
 )
 
-// deltaState carries one incremental propagation. Tables are borrowed from
-// a Scratch; only entries with the matching touch bit are meaningful.
+// deltaState carries one incremental propagation over a Scratch's record
+// table; only entries with the matching touch bit are meaningful.
 type deltaState struct {
 	g      *topology.Graph
 	origin int32
@@ -57,9 +66,20 @@ type deltaState struct {
 	keep    int16
 	violate bool
 
-	cust, peer, prov []cand
-	reject           []bool
-	flags            []uint8
+	recs   []nodeRec
+	dprov  []cand // recomputed provider entries (no slot in nodeRec)
+	flags  []uint8
+	reject []bool
+	s      *Scratch // owner of flags' touched list
+}
+
+// orFlags sets bits on u, registering u on the touched list the first
+// time so the flags can be cleared in O(cone) afterwards.
+func (st *deltaState) orFlags(u int32, bits uint8) {
+	if st.flags[u] == 0 {
+		st.s.touched = append(st.s.touched, u)
+	}
+	st.flags[u] |= bits
 }
 
 // baseCust reconstructs u's baseline customer-table entry from the result:
@@ -83,7 +103,7 @@ func (st *deltaState) baseSel(u int32) cand {
 // when touched, the baseline-derived default otherwise.
 func (st *deltaState) custOf(u int32) cand {
 	if st.flags[u]&deltaTouchCust != 0 {
-		return st.cust[u]
+		return st.recs[u].cust
 	}
 	return st.baseCust(u)
 }
@@ -94,7 +114,7 @@ func (st *deltaState) custOf(u int32) cand {
 // before anything reads it (see the fall-through marking rules).
 func (st *deltaState) peerOf(u int32) cand {
 	if st.flags[u]&deltaTouchPeer != 0 {
-		return st.peer[u]
+		return st.recs[u].peer
 	}
 	if st.base.Class[u] != ClassPeer {
 		return cand{len: -1}
@@ -105,7 +125,7 @@ func (st *deltaState) peerOf(u int32) cand {
 // provOf is custOf for the provider table.
 func (st *deltaState) provOf(u int32) cand {
 	if st.flags[u]&deltaTouchProv != 0 {
-		return st.prov[u]
+		return st.dprov[u]
 	}
 	if st.base.Class[u] != ClassProvider {
 		return cand{len: -1}
@@ -134,7 +154,7 @@ func candEq(a, b cand) bool {
 	return a.len == b.len && a.parent == b.parent && a.prep == b.prep && a.via == b.via
 }
 
-// acceptable applies the receiver-side loop check of fastState.consider.
+// acceptable applies the receiver-side loop check of fastState.admissible.
 func (st *deltaState) acceptable(at int32, c cand) bool {
 	if c.len < 0 {
 		return false
@@ -227,7 +247,7 @@ func (st *deltaState) mark(at int32, bit uint8) {
 	if at == st.origin {
 		return
 	}
-	st.flags[at] |= bit
+	st.orFlags(at, bit)
 }
 
 // seed marks the attacker's neighbors dirty. Every offer the attacker
@@ -249,20 +269,23 @@ func (st *deltaState) seed() {
 	}
 }
 
-// run walks the three phases over the dirty cone.
+// run walks the three phases over the dirty cone. Dense AS indices are
+// up-topological (a topology.Graph build invariant), so the DAG phases are
+// ascending/descending index scans; off-cone indices cost one flag check.
 func (st *deltaState) run() {
 	g := st.g
+	n := int32(len(st.recs))
 
 	// Phase 1 (up): recompute dirty customer entries in topological order,
 	// so a dirty customer's entry is final before its providers read it.
-	for _, u := range g.UpTopoOrder() {
+	for u := int32(0); u < n; u++ {
 		if st.flags[u]&deltaDirtyCust == 0 {
 			continue
 		}
 		old := st.baseCust(u)
 		nw := st.recomputeCust(u)
-		st.cust[u] = nw
-		st.flags[u] |= deltaTouchCust
+		st.recs[u].cust = nw
+		st.orFlags(u, deltaTouchCust)
 		if candEq(nw, old) {
 			continue
 		}
@@ -282,7 +305,6 @@ func (st *deltaState) run() {
 
 	// Phase 2 (across): recompute dirty peer entries. Order is irrelevant;
 	// peer entries depend only on customer entries, which are final.
-	n := int32(g.NumASes())
 	for i := int32(0); i < n; i++ {
 		if st.flags[i]&deltaDirtyPeer == 0 {
 			continue
@@ -294,8 +316,8 @@ func (st *deltaState) run() {
 			old.len = -1
 		}
 		nw := st.recomputePeer(i)
-		st.peer[i] = nw
-		st.flags[i] |= deltaTouchPeer
+		st.recs[i].peer = nw
+		st.orFlags(i, deltaTouchPeer)
 		if !candEq(nw, old) {
 			st.mark(i, deltaDirtyProv)
 		}
@@ -305,14 +327,12 @@ func (st *deltaState) run() {
 	// topological order and push selection changes to customers. Every AS
 	// whose customer or peer entry changed was marked dirty here, so this
 	// pass sees every possible selection change.
-	topo := g.UpTopoOrder()
-	for k := len(topo) - 1; k >= 0; k-- {
-		u := topo[k]
+	for u := n - 1; u >= 0; u-- {
 		if st.flags[u]&deltaDirtyProv == 0 {
 			continue
 		}
-		st.prov[u] = st.recomputeProv(u)
-		st.flags[u] |= deltaTouchProv
+		st.dprov[u] = st.recomputeProv(u)
+		st.orFlags(u, deltaTouchProv)
 		if candEq(st.selOf(u), st.baseSel(u)) {
 			continue
 		}
@@ -324,9 +344,10 @@ func (st *deltaState) run() {
 
 // finish writes the cone's outcomes over a baseline copy in res. Only ASes
 // that reached phase 3 can have a changed selection; everything else keeps
-// its copied baseline row and Via false.
+// its copied baseline row and Via false. Walking the touched list instead
+// of all n records keeps this O(cone).
 func (st *deltaState) finish(res *Result) *Result {
-	for i := int32(0); i < int32(len(st.flags)); i++ {
+	for _, i := range st.s.touched {
 		if st.flags[i]&deltaTouchProv == 0 {
 			continue
 		}
@@ -390,8 +411,10 @@ func deltaResultInto(r *Result, baseline *Result, via []bool) *Result {
 // it into the Scratch's baseline slot. The returned Result is borrowed
 // from the Scratch's delta slot — independent of the baseline and attack
 // slots, so the usual baseline-then-attack pairing extends to all three.
-// Once warmed, the call is allocation-free; its cost scales with the cone,
-// not the graph. With s == nil it allocates fresh state and result.
+// Once warmed, the call is allocation-free; setup replays the previous
+// call's touched and rejection lists (O(previous cone)) instead of
+// clearing whole tables, so its cost scales with the cone, not the graph.
+// With s == nil a private Scratch is allocated.
 func PropagateAttackDelta(g *topology.Graph, ann Announcement, atk Attacker, baseline *Result, s *Scratch) (*Result, error) {
 	if err := ann.Validate(g); err != nil {
 		return nil, err
@@ -401,6 +424,15 @@ func PropagateAttackDelta(g *topology.Graph, ann Announcement, atk Attacker, bas
 	}
 	if g.HasSiblings() {
 		return nil, ErrSiblingsNeedReference
+	}
+	if s == nil {
+		ps := scratchPool.Get().(*Scratch)
+		res, err := PropagateAttackDelta(g, ann, atk, baseline, ps)
+		if err == nil {
+			res = res.Clone()
+		}
+		scratchPool.Put(ps)
+		return res, err
 	}
 	if baseline == nil {
 		var err error
@@ -416,7 +448,6 @@ func PropagateAttackDelta(g *topology.Graph, ann Announcement, atk Attacker, bas
 		return nil, ErrUnreachableAttacker
 	}
 
-	n := g.NumASes()
 	var st deltaState
 	st.g = g
 	st.origin = baseline.OriginIdx()
@@ -425,35 +456,45 @@ func PropagateAttackDelta(g *topology.Graph, ann Announcement, atk Attacker, bas
 	st.atkIdx = atkIdx
 	st.keep = atk.keep()
 	st.violate = atk.ViolateValleyFree
+	// A fresh epoch is opened even though this engine reads candidate
+	// entries only under touch bits: it invalidates any Fast-engine
+	// leftovers in the shared records, so the two engines can interleave
+	// on one Scratch without seeing each other's state.
+	n := g.NumASes()
+	st.recs, _ = s.beginPropagation(n)
+	s.ensureDelta(n)
+	st.dprov = s.dprov[:n]
+	st.flags = s.dflags[:n]
+	st.reject = s.reject[:n]
+	st.s = s
 
-	var res *Result
-	if s != nil {
-		s.grow(n)
-		st.cust = s.cust[:n]
-		st.peer = s.peer[:n]
-		st.prov = s.prov[:n]
-		st.reject = s.reject[:n]
-		st.flags = s.dflags[:n]
-		res = deltaResultInto(&s.delta, baseline, s.deltaVia)
+	// Result setup. When the caller presents the same baseline object as
+	// the previous delta call on this Scratch — the cached-baseline sweep
+	// pattern — the delta slot already equals that baseline everywhere
+	// outside the previous call's cone, so repairing the previous cone's
+	// rows (replaying the still-intact touched list) brings it back to a
+	// pristine baseline copy in O(prev cone). Anything else falls back to
+	// the full O(n) copy. The Scratch's own baseline slot never qualifies:
+	// its pointer stays fixed while its contents change with every
+	// recomputation, so object identity would not imply equal contents.
+	res := &s.delta
+	if s.deltaBase == baseline && baseline != &s.base && res.g == g {
+		for _, i := range s.touched {
+			res.Class[i] = baseline.Class[i]
+			res.Len[i] = baseline.Len[i]
+			res.Prep[i] = baseline.Prep[i]
+			res.Parent[i] = baseline.Parent[i]
+			res.Via[i] = false
+		}
 	} else {
-		st.cust = make([]cand, n)
-		st.peer = make([]cand, n)
-		st.prov = make([]cand, n)
-		st.reject = make([]bool, n)
-		st.flags = make([]uint8, n)
-		res = deltaResultInto(&Result{}, baseline, make([]bool, n))
+		res = deltaResultInto(res, baseline, s.deltaVia)
+		s.deltaBase = baseline
 	}
-	// The candidate tables need no reset — entries are only read under a
-	// touch bit — but the flag and rejection arrays carry state from prior
-	// calls on this Scratch and must start clean (both loops are memclr).
-	for i := range st.flags {
-		st.flags[i] = 0
-	}
-	for i := range st.reject {
-		st.reject[i] = false
-	}
+	s.clearDeltaFlags()
+
+	s.clearRejects()
 	for j := baseline.Parent[atkIdx]; j != st.origin; j = baseline.Parent[j] {
-		st.reject[j] = true
+		s.setReject(j)
 	}
 
 	st.seed()

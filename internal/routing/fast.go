@@ -2,7 +2,9 @@ package routing
 
 import (
 	"errors"
+	"math/bits"
 
+	"aspp/internal/bgp"
 	"aspp/internal/topology"
 )
 
@@ -14,21 +16,59 @@ type cand struct {
 	via    bool  // path traverses the attacker
 }
 
-// fastState carries the per-class candidate tables of one propagation.
-// The tables are either freshly allocated or borrowed from a Scratch
-// (see scratch.go); fastState itself lives on the caller's stack.
+// expCand is a phase-3 export with the betterCand comparison key
+// precomputed: key packs (received length, exporter ASN) so the provider
+// sweep ranks an offer with one integer compare — no tie-break lookups
+// into the ASN table. The all-ones key marks an empty entry and loses
+// every comparison, folding the emptiness check into the same compare.
+type expCand struct {
+	key    uint64 // len<<32 | exporter ASN; ^0 = no export
+	parent int32  // the exporter itself
+	prep   int16
+	via    bool
+}
+
+// noExport is the empty expCand key.
+const noExport = ^uint64(0)
+
+// expKey packs a received length and the exporter's ASN into a
+// comparison key ordered exactly as betterCand orders candidates:
+// shorter first, then lowest exporter ASN.
+func expKey(length int32, asn bgp.ASN) uint64 {
+	return uint64(uint32(length))<<32 | uint64(uint32(asn))
+}
+
+// fastState carries one propagation over the Scratch's fused per-AS
+// records (see nodeRec); fastState itself lives on the caller's stack.
+// A record's candidate entries are live only when its gen stamp equals
+// epoch — anything else reads as empty, which is what makes starting a
+// propagation O(1).
 type fastState struct {
 	g      *topology.Graph
 	origin int32
 	ann    Announcement
 
-	cust, peer, prov []cand
+	recs   []nodeRec
+	epoch  uint32
+	reject []bool // packed loop-rejection marks, owned by the Scratch
+
+	exps []expCand // per-AS final phase-3 exports (see Scratch.exps)
+
+	// custSet is a bitset over AS indices with a nonempty customer-table
+	// entry — the phase-1/2 worklist. Customer routes reach only the
+	// origin's provider ancestry, a small slice of the graph for most
+	// origins, so driving the up/across phases off this set instead of a
+	// full index scan skips the (majority) ASes with nothing to export.
+	// peerSet is the same for peer-table entries; together they tell
+	// phase 3 an AS's selection class in two bit probes, without reading
+	// its (usually stale) record at all.
+	custSet []uint64
+	peerSet []uint64
 
 	// attack state (atkIdx < 0 when no attacker)
 	atkIdx  int32
 	keep    int16
 	violate bool
-	reject  []bool // true for ASes on the attacker's own path (loop!)
 }
 
 // Propagate computes the stable routing outcome for ann with no attacker.
@@ -55,8 +95,8 @@ func PropagateAttack(g *topology.Graph, ann Announcement, atk Attacker, baseline
 	return PropagateAttackScratch(g, ann, atk, baseline, nil)
 }
 
-// init prepares st for one propagation, borrowing tables from s when
-// non-nil and allocating fresh ones otherwise.
+// init prepares st for one propagation on s's record table, opening a
+// fresh epoch.
 func (st *fastState) init(g *topology.Graph, ann Announcement, s *Scratch) {
 	n := g.NumASes()
 	origin, _ := g.Index(ann.Origin)
@@ -64,28 +104,19 @@ func (st *fastState) init(g *topology.Graph, ann Announcement, s *Scratch) {
 	st.origin = origin
 	st.ann = ann
 	st.atkIdx = -1
-	if s != nil {
-		s.grow(n)
-		s.resetTables(n)
-		st.cust = s.cust[:n]
-		st.peer = s.peer[:n]
-		st.prov = s.prov[:n]
-		st.reject = s.reject[:n]
-		return
-	}
-	st.cust = make([]cand, n)
-	st.peer = make([]cand, n)
-	st.prov = make([]cand, n)
-	st.reject = make([]bool, n)
-	for i := 0; i < n; i++ {
-		st.cust[i].len = -1
-		st.peer[i].len = -1
-		st.prov[i].len = -1
+	st.recs, st.epoch = s.beginPropagation(n)
+	st.reject = s.reject[:n]
+	st.exps = s.exps[:n]
+	st.custSet = s.custSet[:(n+63)>>6]
+	st.peerSet = s.peerSet[:(n+63)>>6]
+	for i := range st.custSet {
+		st.custSet[i] = 0
+		st.peerSet[i] = 0
 	}
 }
 
 // betterCand reports whether a beats b under (length, lowest next-hop
-// ASN). Class comparison happens structurally (separate tables). Shared
+// ASN). Class comparison happens structurally (separate entries). Shared
 // by the Fast and Delta engines so their tie-breaks cannot drift apart.
 func betterCand(g *topology.Graph, a, b cand) bool {
 	if b.len < 0 {
@@ -101,16 +132,55 @@ func (st *fastState) better(a, b cand) bool {
 	return betterCand(st.g, a, b)
 }
 
-// consider offers candidate c to table slot of AS at.
-func (st *fastState) consider(table []cand, at int32, c cand) {
+// admissible applies the receiver-side checks of an offer to AS at: the
+// origin never adopts a route to itself, and a via-marked route already
+// contains every AS on the attacker's own path (AS-path loop).
+func (st *fastState) admissible(at int32, c cand) bool {
 	if at == st.origin {
-		return // the origin never adopts a route to itself
+		return false
 	}
-	if c.via && (at == st.atkIdx || st.reject[at]) {
-		return // AS-path loop: the route already contains this AS
+	return !c.via || (at != st.atkIdx && !st.reject[at])
+}
+
+// considerCust offers candidate c to at's customer-table entry, keeping
+// the phase-1/2 worklist bitset in sync. The first offer a record sees in
+// an epoch takes the stale-stamp fast path: the whole record is rewritten
+// without reading its (invalid) entries — the epoch mechanism's write
+// side. Every later offer finds gen current and compares normally.
+func (st *fastState) considerCust(at int32, c cand) {
+	if !st.admissible(at, c) {
+		return
 	}
-	if st.better(c, table[at]) {
-		table[at] = c
+	r := &st.recs[at]
+	if r.gen != st.epoch {
+		r.gen = st.epoch
+		r.cust = c
+		r.peer.len = -1
+		st.custSet[at>>6] |= 1 << uint(at&63)
+		return
+	}
+	if st.better(c, r.cust) {
+		r.cust = c
+		st.custSet[at>>6] |= 1 << uint(at&63)
+	}
+}
+
+// considerPeer offers candidate c to at's peer-table entry.
+func (st *fastState) considerPeer(at int32, c cand) {
+	if !st.admissible(at, c) {
+		return
+	}
+	r := &st.recs[at]
+	if r.gen != st.epoch {
+		r.gen = st.epoch
+		r.peer = c
+		r.cust.len = -1
+		st.peerSet[at>>6] |= 1 << uint(at&63)
+		return
+	}
+	if st.better(c, r.peer) {
+		r.peer = c
+		st.peerSet[at>>6] |= 1 << uint(at&63)
 	}
 }
 
@@ -134,16 +204,20 @@ func (st *fastState) export(u int32, c cand) cand {
 	return exportCand(u, c, st.atkIdx, st.keep)
 }
 
-// selected returns i's best route across classes:
-// customer > peer > provider, regardless of length.
-func (st *fastState) selected(i int32) cand {
-	if st.cust[i].len >= 0 {
-		return st.cust[i]
+// exportKey is export with the phase-3 comparison key precomputed from
+// the exporter's ASN, in expCand form.
+func (st *fastState) exportKey(u int32, c cand) expCand {
+	ln := c.len + 1
+	prep := c.prep
+	via := c.via
+	if u == st.atkIdx {
+		if prep > st.keep {
+			ln -= int32(prep - st.keep)
+			prep = st.keep
+		}
+		via = true
 	}
-	if st.peer[i].len >= 0 {
-		return st.peer[i]
-	}
-	return st.prov[i]
+	return expCand{key: expKey(ln, st.g.ASNAt(u)), parent: u, prep: prep, via: via}
 }
 
 // seedViolation injects the attacker's export to its providers and peers,
@@ -160,104 +234,178 @@ func (st *fastState) seedViolation(baseline *Result) {
 	}
 	exp := st.export(a, base)
 	for _, p := range st.g.ProvidersIdx(a) {
-		st.consider(st.cust, p, exp)
+		st.considerCust(p, exp)
 	}
 	for _, w := range st.g.PeersIdx(a) {
-		st.consider(st.peer, w, exp)
+		st.considerPeer(w, exp)
 	}
 }
 
-// run executes the three phases.
-func (st *fastState) run() {
+// run executes the three phases and writes the outcome into res (which
+// must already be sized for the graph; rows need not be cleared — every
+// row is written). When via is non-nil it receives the per-AS via flags
+// in the same pass (the attack path's Via storage).
+//
+// Dense AS indices are up-topological (a topology.Graph build invariant),
+// so the DAG phases need no permutation table: the worklist walk processes
+// ascending indices and phase 3 is a plain descending scan. Phase 3 is
+// pull-based: when the scan reaches u every provider of u (higher index)
+// already has its final export in exps, so u computes its provider entry
+// in a register sweep over those instead of providers pushing offers into
+// a shared table — no record writes, and ASes whose customer or peer
+// route wins structurally skip the provider sweep entirely. Result
+// emission is fused into the same scan, since u's selection is final
+// exactly when the scan needs it to fill exps[u].
+func (st *fastState) run(res *Result, via []bool) *Result {
 	g, o := st.g, st.origin
+	n := int32(len(st.recs))
 
 	// Phase 0: the origin announces to every neighbor with per-neighbor λ,
 	// skipping withheld (failed) sessions.
-	seed := func(table []cand, nbr int32) {
+	seed := func(nbr int32) (cand, bool) {
 		if st.ann.Withhold[g.ASNAt(nbr)] {
-			return
+			return cand{}, false
 		}
 		lam := int32(st.ann.lambdaFor(g.ASNAt(nbr)))
-		st.consider(table, nbr, cand{len: lam, prep: int16(lam), parent: o})
+		return cand{len: lam, prep: int16(lam), parent: o}, true
 	}
 	for _, p := range g.ProvidersIdx(o) {
-		seed(st.cust, p)
+		if c, ok := seed(p); ok {
+			st.considerCust(p, c)
+		}
 	}
 	for _, w := range g.PeersIdx(o) {
-		seed(st.peer, w)
+		if c, ok := seed(w); ok {
+			st.considerPeer(w, c)
+		}
 	}
-	for _, c := range g.CustomersIdx(o) {
-		seed(st.prov, c)
+	// The origin's downward seeds are folded into the phase-3 pull: a
+	// customer of the origin computes the seed when it sweeps its providers.
+
+	// Phases 1+2, fused over the customer-route worklist. Phase 1 (up):
+	// customer-learned routes climb the provider DAG in ascending index
+	// order, so each AS's best customer route is final before any of its
+	// (higher-indexed) providers consume it — correct even though the
+	// attacker's stripping makes lengths non-monotonic, because the order
+	// is a DAG order, not a shortest-first order. Phase 2 (across, one
+	// peer hop; only customer-learned routes cross it) rides the same
+	// walk: u's customer entry is already final when the walk reaches u,
+	// and nothing reads a peer entry until phase 3. The walk re-polls each
+	// bitset word after processing a bit because pushes land only at
+	// higher indices — ahead of the cursor, never behind it.
+	words := st.custSet
+	for wi := 0; wi < len(words); wi++ {
+		var done uint64
+		for {
+			w := words[wi] &^ done
+			if w == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(w)
+			done |= 1 << uint(b)
+			u := int32(wi<<6 | b)
+			// The bit is only ever set on a write, so the entry is live.
+			exp := st.export(u, st.recs[u].cust)
+			for _, p := range g.ProvidersIdx(u) {
+				st.considerCust(p, exp)
+			}
+			for _, pr := range g.PeersIdx(u) {
+				st.considerPeer(pr, exp)
+			}
+		}
 	}
 
-	// Phase 1 (up): customer-learned routes climb the provider DAG in
-	// topological order, so each AS's best customer route is final before
-	// any of its providers consume it. Correct even though the attacker's
-	// stripping makes lengths non-monotonic, because the order is a DAG
-	// order, not a shortest-first order.
-	for _, u := range g.UpTopoOrder() {
-		if u == o || st.cust[u].len < 0 {
-			continue
-		}
-		exp := st.export(u, st.cust[u])
-		for _, p := range g.ProvidersIdx(u) {
-			st.consider(st.cust, p, exp)
-		}
+	// Phase 3 (down): every AS selects its overall best route
+	// (customer > peer > provider, regardless of length), emits its result
+	// row, and records what it exports to customers in exps — consumed by
+	// the pull sweep of each (lower-indexed) customer later in the scan.
+	//
+	// Uniform announcements (no per-neighbor λ, no withheld sessions — the
+	// overwhelmingly common case) pre-store the origin's downward seed in
+	// exps[o], so the sweep reads the origin like any other provider;
+	// otherwise each origin edge computes its own seed.
+	exps := st.exps
+	uniform := len(st.ann.PerNeighbor) == 0 && len(st.ann.Withhold) == 0
+	if uniform {
+		lam := int32(st.ann.Prepend)
+		exps[o] = expCand{key: expKey(lam, g.ASNAt(o)), parent: o, prep: int16(lam)}
 	}
-
-	// Phase 2 (across): one peer hop. Only customer-learned routes are
-	// exported to peers.
-	for i := int32(0); i < int32(g.NumASes()); i++ {
-		if i == o || st.cust[i].len < 0 {
-			continue
-		}
-		exp := st.export(i, st.cust[i])
-		for _, w := range g.PeersIdx(i) {
-			st.consider(st.peer, w, exp)
-		}
-	}
-
-	// Phase 3 (down): every AS exports its overall best route to its
-	// customers; reverse topological order makes each provider's selection
-	// final before its customers consume it.
-	topo := g.UpTopoOrder()
-	for k := len(topo) - 1; k >= 0; k-- {
-		u := topo[k]
+	for u := n - 1; u >= 0; u-- {
 		if u == o {
+			res.Class[u] = ClassNone
+			res.Len[u] = 0 // the origin's own row: reachable at length 0
+			res.Prep[u] = 0
+			res.Parent[u] = -1
+			if via != nil {
+				via[u] = false
+			}
 			continue
 		}
-		sel := st.selected(u)
-		if sel.len < 0 {
+		// The bitsets say which table u's selection comes from without
+		// touching its record: a set bit implies a live entry (bits are
+		// only set on an in-epoch write).
+		var sel cand
+		cls := ClassNone
+		if bit := uint64(1) << uint(u&63); st.custSet[u>>6]&bit != 0 {
+			cls, sel = ClassCustomer, st.recs[u].cust
+		} else if st.peerSet[u>>6]&bit != 0 {
+			cls, sel = ClassPeer, st.recs[u].peer
+		}
+		if cls == ClassNone {
+			// No customer or peer route: sweep the providers' final exports.
+			// The key compare subsumes betterCand AND the emptiness check
+			// (noExport loses to every real offer), so a valid offer costs
+			// one compare plus the loop-rejection probe.
+			best := expCand{key: noExport}
+			rej := u == st.atkIdx || st.reject[u]
+			if uniform {
+				for _, p := range g.ProvidersIdx(u) {
+					e := exps[p]
+					if e.key < best.key && !(e.via && rej) {
+						best = e
+					}
+				}
+			} else {
+				for _, p := range g.ProvidersIdx(u) {
+					var e expCand
+					if p == o {
+						c, ok := seed(u)
+						if !ok {
+							continue
+						}
+						e = expCand{key: expKey(c.len, g.ASNAt(o)), parent: o, prep: c.prep}
+					} else {
+						e = exps[p]
+					}
+					if e.key < best.key && !(e.via && rej) {
+						best = e
+					}
+				}
+			}
+			if best.key != noExport {
+				cls = ClassProvider
+				sel = cand{len: int32(best.key >> 32), parent: best.parent, prep: best.prep, via: best.via}
+			}
+		}
+		if cls == ClassNone {
+			exps[u].key = noExport
+			res.Class[u] = ClassNone
+			res.Len[u] = -1
+			res.Prep[u] = 0
+			res.Parent[u] = -1
+			if via != nil {
+				via[u] = false
+			}
 			continue
 		}
-		exp := st.export(u, sel)
-		for _, c := range g.CustomersIdx(u) {
-			st.consider(st.prov, c, exp)
+		exps[u] = st.exportKey(u, sel)
+		res.Class[u] = cls
+		res.Len[u] = sel.len
+		res.Prep[u] = sel.prep
+		res.Parent[u] = sel.parent
+		if via != nil {
+			via[u] = sel.via
 		}
-	}
-}
-
-// finish converts candidate tables into res and returns it.
-func (st *fastState) finish(res *Result) *Result {
-	for i := int32(0); i < int32(st.g.NumASes()); i++ {
-		if i == st.origin {
-			continue
-		}
-		sel := st.selected(i)
-		if sel.len < 0 {
-			continue
-		}
-		switch {
-		case st.cust[i].len >= 0:
-			res.Class[i] = ClassCustomer
-		case st.peer[i].len >= 0:
-			res.Class[i] = ClassPeer
-		default:
-			res.Class[i] = ClassProvider
-		}
-		res.Len[i] = sel.len
-		res.Prep[i] = sel.prep
-		res.Parent[i] = sel.parent
 	}
 	return res
 }

@@ -46,10 +46,12 @@ func newResult(g *topology.Graph, origin int32) *Result {
 	return r
 }
 
-// resultInto resets r for a fresh outcome on g, reusing its slices when
+// resultInto resizes r for a fresh outcome on g, reusing its slices when
 // they are large enough (the Scratch result slots rely on this to keep
-// repeated propagations allocation-free). Via is cleared to nil; attack
-// propagation reattaches its own storage.
+// repeated propagations allocation-free). Rows are NOT cleared — the Fast
+// engine's finishInto writes every row, defaults included, so a separate
+// clearing pass here would touch the whole result twice. Via is reset to
+// nil; attack propagation reattaches its own storage.
 func resultInto(r *Result, g *topology.Graph, origin int32) *Result {
 	n := g.NumASes()
 	r.g = g
@@ -65,13 +67,6 @@ func resultInto(r *Result, g *topology.Graph, origin int32) *Result {
 	r.Prep = r.Prep[:n]
 	r.Parent = r.Parent[:n]
 	r.Via = nil
-	for i := 0; i < n; i++ {
-		r.Class[i] = ClassNone
-		r.Len[i] = -1
-		r.Prep[i] = 0
-		r.Parent[i] = -1
-	}
-	r.Len[origin] = 0
 	return r
 }
 

@@ -1,12 +1,34 @@
 package routing
 
-import "aspp/internal/topology"
+import (
+	"sync"
 
-// Scratch is reusable propagation state for the Fast engine's hot path.
-// A sweep that runs tens of thousands of Propagate/PropagateAttack calls
-// allocates the same candidate tables, rejection bitmap and result arrays
-// over and over; borrowing them from a Scratch instead makes a warmed-up
-// baseline propagation allocation-free (asserted by TestPropagateScratchZeroAlloc).
+	"aspp/internal/topology"
+)
+
+// nodeRec is one AS's fused candidate state: the customer and peer
+// entries plus the epoch stamp that implements O(1) reset. The provider
+// entry never lives in the record — the Fast engine's pull-based down
+// phase computes it in registers, and the Delta engine keeps its
+// recomputed provider entries in a side table (Scratch.dprov) — so the
+// record is exactly 32 bytes and two records share every cache line.
+//
+// The candidate entries are live only while gen equals the owning
+// Scratch's epoch; any other value reads as "all empty". Each propagation
+// bumps the epoch (Scratch.beginPropagation), which invalidates every
+// record at once without writing them.
+type nodeRec struct {
+	cust, peer cand
+	gen        uint32
+	_          uint32 // pad to 32 bytes: two records per cache line
+}
+
+// Scratch is reusable propagation state for the Fast and Delta engines'
+// hot paths. A sweep that runs tens of thousands of Propagate/
+// PropagateAttack calls allocates the same candidate tables, rejection
+// state and result arrays over and over; borrowing them from a Scratch
+// instead makes a warmed-up baseline propagation allocation-free (asserted
+// by TestPropagateScratchZeroAlloc).
 //
 // Ownership contract:
 //
@@ -29,8 +51,46 @@ import "aspp/internal/topology"
 type Scratch struct {
 	n int // capacity in ASes the tables are sized for
 
-	cust, peer, prov []cand
-	reject           []bool
+	// recs is the fused per-AS candidate state; epoch is the current
+	// propagation's stamp. Starting a propagation bumps epoch instead of
+	// clearing recs, so reset is O(1) (see beginPropagation).
+	recs  []nodeRec
+	epoch uint32
+
+	// reject marks ASes on the attacker's own path (AS-path loop
+	// detection). It stays packed — the engines scan and probe it far more
+	// often than they write it — and is reset in O(marks) by replaying
+	// rejectList instead of clearing n bytes.
+	reject     []bool
+	rejectList []int32
+
+	// custSet is the Fast engine's phase-1/2 worklist bitset (one bit per
+	// AS with a customer route); peerSet is the same for peer routes.
+	// Besides driving the phase-1/2 worklist, the pair lets phase 3 decide
+	// each AS's selection class from two bit probes — the bitsets stay
+	// L1-resident where the record table does not — and 64 ASes per word
+	// keeps their reset cheap.
+	custSet []uint64
+	peerSet []uint64
+
+	// exps holds each AS's final phase-3 export, written sequentially as
+	// the descending scan emits it and read by its (lower-indexed)
+	// customers — the Fast engine's pull-based down phase. Entries carry
+	// their comparison key precomputed (see expCand) and are only read
+	// for ASes the scan has already passed, so the table needs no reset
+	// at all.
+	exps []expCand
+
+	// dflags holds the Delta engine's per-AS dirty/touched bits, packed
+	// for the same reason; touched lists every AS whose flags are nonzero,
+	// so reset is O(cone), not O(n).
+	dflags  []uint8
+	touched []int32
+
+	// dprov holds the Delta engine's recomputed provider entries — the one
+	// per-class table that has no slot in nodeRec. Entries are only read
+	// under the matching touch bit, so the table needs no reset.
+	dprov []cand
 
 	// via is the attack slot's Via storage. viaBase/viaState/viaStack back
 	// ViaSetInto walks (core's pollution counting); viaBase is distinct
@@ -40,10 +100,17 @@ type Scratch struct {
 	viaState []uint8
 	viaStack []int32
 
-	// dflags and deltaVia back the Delta engine: per-AS dirty/touched
-	// bits and the delta slot's Via storage.
-	dflags   []uint8
+	// deltaVia is the delta slot's Via storage.
 	deltaVia []bool
+
+	// deltaBase remembers which baseline the delta slot currently mirrors
+	// outside the previous call's cone. When the next delta call presents
+	// the same baseline object, setup repairs only the previous cone's
+	// rows instead of re-copying the whole baseline (see
+	// PropagateAttackDelta). Never dereferenced for its contents — only
+	// compared — so holding it keeps no extra state alive beyond the
+	// baseline the caller is reusing anyway.
+	deltaBase *Result
 
 	// base, atk and delta are the three reusable result slots.
 	base, atk, delta Result
@@ -52,34 +119,106 @@ type Scratch struct {
 // NewScratch returns an empty Scratch; it sizes itself on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// grow ensures every table covers n ASes.
+// scratchPool recycles the private Scratches behind the convenience
+// entry points (s == nil): a propagation borrows one, runs, clones the
+// compact result out, and returns the Scratch — so one-shot callers pay
+// a ~n-row copy instead of allocating multi-hundred-KB candidate tables
+// per call.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// grow ensures the core tables — the ones every propagation touches —
+// cover n ASes. Fresh records carry zero gen stamps, which are stale by
+// construction: the epoch is always >= 1 once any propagation has started.
+// The list slices get capacity n so replaying them can never allocate.
+//
+// The remaining tables are grouped by the call path that needs them and
+// allocated lazily by the ensure* methods below, so e.g. a baseline-only
+// Scratch never pays for attack Via or delta-cone storage.
 func (s *Scratch) grow(n int) {
 	if n <= s.n {
 		return
 	}
-	s.cust = make([]cand, n)
-	s.peer = make([]cand, n)
-	s.prov = make([]cand, n)
+	s.recs = make([]nodeRec, n)
 	s.reject = make([]bool, n)
-	s.via = make([]bool, n)
-	s.viaBase = make([]bool, n)
-	s.viaState = make([]uint8, n)
-	s.viaStack = make([]int32, 0, 64)
-	s.dflags = make([]uint8, n)
-	s.deltaVia = make([]bool, n)
+	s.rejectList = make([]int32, 0, n)
+	s.custSet = make([]uint64, (n+63)>>6)
+	s.peerSet = make([]uint64, (n+63)>>6)
+	s.exps = make([]expCand, n)
 	s.n = n
 }
 
-// resetTables clears the candidate tables and the rejection bitmap for a
-// fresh propagation over a graph with n ASes. Only the first n entries
-// matter; the engine never reads past them.
-func (s *Scratch) resetTables(n int) {
-	for i := 0; i < n; i++ {
-		s.cust[i].len = -1
-		s.peer[i].len = -1
-		s.prov[i].len = -1
+// ensureVia sizes the attack slot's Via storage.
+func (s *Scratch) ensureVia(n int) {
+	if len(s.via) < n {
+		s.via = make([]bool, n)
+	}
+}
+
+// ensureViaBufs sizes the ViaSetInto walk buffers.
+func (s *Scratch) ensureViaBufs(n int) {
+	if len(s.viaBase) < n {
+		s.viaBase = make([]bool, n)
+		s.viaState = make([]uint8, n)
+	}
+	if s.viaStack == nil {
+		s.viaStack = make([]int32, 0, 64)
+	}
+}
+
+// ensureDelta sizes the Delta engine's flag table and Via storage. When it
+// reallocates, the fresh dflags are all-zero, so the (discarded) touched
+// list has nothing left to undo.
+func (s *Scratch) ensureDelta(n int) {
+	if len(s.dflags) < n {
+		s.dflags = make([]uint8, n)
+		s.touched = make([]int32, 0, n)
+		s.deltaVia = make([]bool, n)
+		s.dprov = make([]cand, n)
+	}
+}
+
+// beginPropagation sizes the tables for n ASes and opens a fresh epoch,
+// returning the record window and its stamp. Bumping the epoch invalidates
+// every candidate entry from prior propagations in O(1) — no memory is
+// written. On uint32 wraparound (once per ~4.3 billion propagations) stale
+// stamps could alias the new epoch, so every stamp is hard-cleared and the
+// epoch restarts at 1.
+func (s *Scratch) beginPropagation(n int) ([]nodeRec, uint32) {
+	s.grow(n)
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.recs {
+			s.recs[i].gen = 0
+		}
+		s.epoch = 1
+	}
+	return s.recs[:n], s.epoch
+}
+
+// clearRejects undoes the previous attack's loop-rejection marks by
+// replaying the mark list — O(path length), not O(n).
+func (s *Scratch) clearRejects() {
+	for _, i := range s.rejectList {
 		s.reject[i] = false
 	}
+	s.rejectList = s.rejectList[:0]
+}
+
+// setReject marks AS index i as loop-rejecting via-routes.
+func (s *Scratch) setReject(i int32) {
+	if !s.reject[i] {
+		s.reject[i] = true
+		s.rejectList = append(s.rejectList, i)
+	}
+}
+
+// clearDeltaFlags undoes the previous delta propagation's dirty/touched
+// bits by replaying the touched list — O(cone), not O(n).
+func (s *Scratch) clearDeltaFlags() {
+	for _, i := range s.touched {
+		s.dflags[i] = 0
+	}
+	s.touched = s.touched[:0]
 }
 
 // ViaBuffers exposes the scratch-owned buffers ViaSetInto needs, sized for
@@ -88,15 +227,25 @@ func (s *Scratch) resetTables(n int) {
 // the same Scratch. The returned slices are invalidated by the next
 // ViaBuffers call on this Scratch.
 func (s *Scratch) ViaBuffers(g *topology.Graph) (via []bool, state []uint8, stack []int32) {
-	s.grow(g.NumASes())
 	n := g.NumASes()
+	s.ensureViaBufs(n)
 	return s.viaBase[:n], s.viaState[:n], s.viaStack
 }
 
 // PropagateScratch is Propagate with scratch reuse: candidate tables and
-// the returned Result are borrowed from s. With s == nil it behaves
-// exactly like Propagate. See the Scratch ownership contract.
+// the returned Result are borrowed from s. With s == nil the propagation
+// runs on a pooled Scratch and the returned Result is a private copy. See
+// the Scratch ownership contract.
 func PropagateScratch(g *topology.Graph, ann Announcement, s *Scratch) (*Result, error) {
+	if s == nil {
+		ps := scratchPool.Get().(*Scratch)
+		res, err := PropagateScratch(g, ann, ps)
+		if err == nil {
+			res = res.Clone()
+		}
+		scratchPool.Put(ps)
+		return res, err
+	}
 	if err := ann.Validate(g); err != nil {
 		return nil, err
 	}
@@ -105,20 +254,25 @@ func PropagateScratch(g *topology.Graph, ann Announcement, s *Scratch) (*Result,
 	}
 	var st fastState
 	st.init(g, ann, s)
-	st.run()
-	if s == nil {
-		return st.finish(newResult(g, st.origin)), nil
-	}
-	return st.finish(resultInto(&s.base, g, st.origin)), nil
+	return st.run(resultInto(&s.base, g, st.origin), nil), nil
 }
 
 // PropagateAttackScratch is PropagateAttack with scratch reuse. baseline
 // may be a cached no-attack Result for the same announcement (shared
 // read-only across goroutines is safe); nil recomputes it into the
 // Scratch's baseline slot. The returned Result is borrowed from the
-// Scratch's attack slot. With s == nil it behaves exactly like
-// PropagateAttack.
+// Scratch's attack slot. With s == nil the propagation runs on a pooled
+// Scratch and the returned Result is a private copy.
 func PropagateAttackScratch(g *topology.Graph, ann Announcement, atk Attacker, baseline *Result, s *Scratch) (*Result, error) {
+	if s == nil {
+		ps := scratchPool.Get().(*Scratch)
+		res, err := PropagateAttackScratch(g, ann, atk, baseline, ps)
+		if err == nil {
+			res = res.Clone()
+		}
+		scratchPool.Put(ps)
+		return res, err
+	}
 	if err := ann.Validate(g); err != nil {
 		return nil, err
 	}
@@ -146,28 +300,17 @@ func PropagateAttackScratch(g *topology.Graph, ann Announcement, atk Attacker, b
 	// Loop rejection: every route that traverses the attacker carries the
 	// attacker's full (baseline) path as its suffix, so exactly the ASes on
 	// that path must reject it, as real BGP loop detection would.
+	s.clearRejects()
 	for j := baseline.Parent[atkIdx]; j != st.origin; j = baseline.Parent[j] {
-		st.reject[j] = true
+		s.setReject(j)
 	}
 
 	if st.violate {
 		st.seedViolation(baseline)
 	}
-	st.run()
 
-	var res *Result
-	if s == nil {
-		res = st.finish(newResult(g, st.origin))
-		res.Via = make([]bool, g.NumASes())
-	} else {
-		res = st.finish(resultInto(&s.atk, g, st.origin))
-		res.Via = s.via[:g.NumASes()]
-	}
-	for i := range res.Via {
-		res.Via[i] = false
-		if i32 := int32(i); i32 != st.origin && st.selected(i32).len >= 0 {
-			res.Via[i] = st.selected(i32).via
-		}
-	}
-	return res, nil
+	s.ensureVia(g.NumASes())
+	res := resultInto(&s.atk, g, st.origin)
+	res.Via = s.via[:g.NumASes()]
+	return st.run(res, res.Via), nil
 }

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"testing"
 
 	"aspp/internal/topology"
@@ -73,5 +74,232 @@ func TestPropagateScratchZeroAlloc(t *testing.T) {
 		base.ViaSetInto(atk.AS, via, state, stack)
 	}); avg != 0 {
 		t.Errorf("ViaSetInto with borrowed buffers allocates %.1f objects per run, want 0", avg)
+	}
+
+	// The fused record path must stay allocation-free when the announcement
+	// changes between calls (different λ hits different phase-3 exports) and
+	// across the epoch-stamp O(1) reset that each call performs.
+	if avg := testing.AllocsPerRun(20, func() {
+		for lam := 1; lam <= 4; lam++ {
+			allocSinkResult, allocSinkErr = PropagateScratch(g, Announcement{Origin: victim, Prepend: lam}, s)
+		}
+	}); avg != 0 {
+		t.Errorf("warmed PropagateScratch with varying λ allocates %.1f objects per run, want 0", avg)
+	}
+	if allocSinkErr != nil {
+		t.Fatal(allocSinkErr)
+	}
+}
+
+// TestEpochResetNoStaleLeak pins the epoch-stamp invalidation: candidate
+// entries written by one propagation must never be visible to the next,
+// even though beginPropagation writes no memory to "clear" them. The
+// adversarial setup runs a far-reaching origin first (stamping nearly every
+// record), then propagations whose own reach is smaller — any stale entry
+// that leaked through would surface as a wrong class, parent or length
+// against a fresh-Scratch computation.
+func TestEpochResetNoStaleLeak(t *testing.T) {
+	cfg := topology.DefaultGenConfig(500)
+	cfg.Seed = 29
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := topology.DefaultGenConfig(120)
+	small.Seed = 7
+	gSmall, err := topology.Generate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewScratch()
+	check := func(g *topology.Graph, ann Announcement, label string) {
+		t.Helper()
+		reused, err := PropagateScratch(g, ann, s)
+		if err != nil {
+			t.Fatalf("%s: reused: %v", label, err)
+		}
+		fresh, err := PropagateScratch(g, ann, NewScratch())
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", label, err)
+		}
+		compareResults(t, g, reused, fresh, label)
+		if t.Failed() {
+			t.Fatalf("%s: stale state leaked across propagations", label)
+		}
+	}
+
+	// Stamp (nearly) every record from a tier-1 origin, then move to stub
+	// origins whose routes reach fewer ASes with different classes.
+	check(g, Announcement{Origin: g.Tier1s()[0], Prepend: 1}, "tier-1 warmup")
+	for trial, asn := range g.ASNs() {
+		if !g.IsStub(asn) || trial%17 != 0 {
+			continue
+		}
+		check(g, Announcement{Origin: asn, Prepend: 1 + trial%8}, "stub origin")
+	}
+
+	// Shrinking to a smaller graph leaves high-index records stamped by the
+	// big graph; they must read as empty if the graph ever grows back.
+	check(gSmall, Announcement{Origin: gSmall.Tier1s()[0], Prepend: 2}, "shrunk graph")
+	check(g, Announcement{Origin: g.Tier1s()[1], Prepend: 3}, "regrown graph")
+
+	// Attack propagations share the same record table and epoch.
+	base, err := PropagateScratch(g, Announcement{Origin: g.Tier1s()[0], Prepend: 2}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := Attacker{AS: g.Tier1s()[2]}
+	reused, err := PropagateAttackScratch(g, Announcement{Origin: g.Tier1s()[0], Prepend: 2}, atk, base, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PropagateAttack(g, Announcement{Origin: g.Tier1s()[0], Prepend: 2}, atk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, reused, fresh, "attack after reuse")
+}
+
+// TestEpochWrapHardClear forces the uint32 epoch wraparound (once per ~4.3
+// billion real propagations) and checks the hard-clear fallback: stamps
+// from pre-wrap propagations could alias the restarted epoch, so
+// beginPropagation must clear them rather than let a pre-wrap candidate
+// read as live.
+func TestEpochWrapHardClear(t *testing.T) {
+	cfg := topology.DefaultGenConfig(300)
+	cfg.Seed = 41
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	s.epoch = ^uint32(0) - 3 // four propagations from wrapping
+	for k := 0; k < 8; k++ {
+		ann := Announcement{Origin: g.Tier1s()[k%len(g.Tier1s())], Prepend: 1 + k%5}
+		reused, err := PropagateScratch(g, ann, s)
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		fresh, err := Propagate(g, ann)
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		compareResults(t, g, reused, fresh, "wrap step")
+		if t.Failed() {
+			t.Fatalf("step %d: epoch wrap leaked stale candidates", k)
+		}
+		if s.epoch == 0 {
+			t.Fatalf("step %d: epoch left at 0 (every record would read live)", k)
+		}
+	}
+	if s.epoch >= ^uint32(0)-3 {
+		t.Fatal("epoch never wrapped; the test exercised nothing")
+	}
+}
+
+// TestDeltaBaselineRepairReuse pins the delta slot's baseline-repair path:
+// when consecutive delta calls present the same baseline object, setup
+// repairs only the previous cone instead of re-copying the whole baseline.
+// Alternating attackers and export modes against one long-lived cloned
+// baseline must keep agreeing with the full attack engine.
+func TestDeltaBaselineRepairReuse(t *testing.T) {
+	cfg := topology.DefaultGenConfig(400)
+	cfg.Seed = 53
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := Announcement{Origin: g.Tier1s()[0], Prepend: 3}
+	s := NewScratch()
+	baseIn, err := PropagateScratch(g, ann, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := baseIn.Clone() // long-lived, as BaselineCache holds them
+
+	attackers := []Attacker{
+		{AS: g.Tier1s()[1]},
+		{AS: g.Tier1s()[2], ViolateValleyFree: true},
+		{AS: g.Tier1s()[1], KeepPrepend: 2},
+	}
+	for _, asn := range g.ASNs() {
+		if g.IsStub(asn) && asn != ann.Origin {
+			attackers = append(attackers, Attacker{AS: asn})
+			if len(attackers) >= 12 {
+				break
+			}
+		}
+	}
+	full := NewScratch()
+	for round := 0; round < 3; round++ {
+		for k, atk := range attackers {
+			label := "round " + string(rune('0'+round)) + " attacker " + atk.AS.String()
+			delta, derr := PropagateAttackDelta(g, ann, atk, baseline, s)
+			want, ferr := PropagateAttackScratch(g, ann, atk, baseline, full)
+			if errors.Is(ferr, ErrUnreachableAttacker) {
+				if !errors.Is(derr, ErrUnreachableAttacker) {
+					t.Fatalf("%s: full unreachable, delta err = %v", label, derr)
+				}
+				continue
+			}
+			if ferr != nil || derr != nil {
+				t.Fatalf("%s: full err = %v, delta err = %v", label, ferr, derr)
+			}
+			compareResults(t, g, delta, want, label)
+			if t.Failed() {
+				t.Fatalf("%s (attacker #%d): repair path diverged", label, k)
+			}
+		}
+	}
+	// After warmup, the repair path itself must be allocation-free.
+	atk := attackers[0]
+	if avg := testing.AllocsPerRun(20, func() {
+		allocSinkResult, allocSinkErr = PropagateAttackDelta(g, ann, atk, baseline, s)
+	}); avg != 0 {
+		t.Errorf("repair-path PropagateAttackDelta allocates %.1f objects per run, want 0", avg)
+	}
+	if allocSinkErr != nil {
+		t.Fatal(allocSinkErr)
+	}
+}
+
+// TestScratchPoolPath covers the s == nil convenience route: results must
+// be private detached copies, correct, and safe to hold after the pooled
+// Scratch goes back for reuse by other calls.
+func TestScratchPoolPath(t *testing.T) {
+	cfg := topology.DefaultGenConfig(200)
+	cfg.Seed = 61
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := Announcement{Origin: g.Tier1s()[0], Prepend: 2}
+	atk := Attacker{AS: g.Tier1s()[1]}
+
+	first, err := PropagateScratch(g, ann, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second pooled call very likely reuses the same pooled Scratch; the
+	// first result must be unaffected because it was cloned out.
+	snapshot := first.Clone()
+	other := Announcement{Origin: g.Tier1s()[1], Prepend: 5}
+	if _, err := PropagateScratch(g, other, nil); err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, first, snapshot, "pooled result detached")
+
+	atkRes, err := PropagateAttackScratch(g, ann, atk, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PropagateAttack(g, ann, atk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, atkRes, want, "pooled attack")
+	if atkRes.Via == nil {
+		t.Fatal("pooled attack result lost its Via slice in the clone")
 	}
 }

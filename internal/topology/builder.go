@@ -125,10 +125,13 @@ func (b *Builder) NumASes() int { return len(b.asns) }
 // Rebuild returns a Builder pre-loaded with an existing graph's ASes and
 // links, so callers can extend a (generated) topology with extra actors —
 // e.g. grafting a sibling pair onto an Internet for the Fig. 11 scenario.
+// Dense indices of the common ASes survive a Rebuild+Build round trip as
+// long as their link structure is unchanged, because the topological
+// numbering is canonical in the AS set and links (see Build).
 func Rebuild(g *Graph) *Builder {
 	b := NewBuilder()
-	for _, a := range g.asns {
-		// Registration order preserves dense indices for the common ASes.
+	for _, a := range g.enum {
+		// Registration order preserves the ASNs() enumeration order.
 		if err := b.AddAS(a); err != nil {
 			panic("topology: rebuild: " + err.Error()) // ASNs come from a valid graph
 		}
@@ -150,24 +153,21 @@ func Rebuild(g *Graph) *Builder {
 	return b
 }
 
-// Build validates and freezes the topology.
+// Build validates and freezes the topology: it assigns canonical
+// up-topological dense indices and lays adjacency out in CSR form (see the
+// package doc's memory layout notes).
 func (b *Builder) Build() (*Graph, error) {
-	if len(b.asns) == 0 {
+	n := len(b.asns)
+	if n == 0 {
 		return nil, errors.New("topology: no ASes")
 	}
-	g := &Graph{
-		asns:      make([]bgp.ASN, len(b.asns)),
-		index:     make(map[bgp.ASN]int32, len(b.asns)),
-		providers: make([][]int32, len(b.asns)),
-		customers: make([][]int32, len(b.asns)),
-		peers:     make([][]int32, len(b.asns)),
-		siblings:  make([][]int32, len(b.asns)),
-	}
-	copy(g.asns, b.asns)
-	for a, i := range b.index {
-		g.index[a] = i
-	}
-	// Deterministic link insertion order.
+	// Assemble per-AS adjacency in registration numbering first, with
+	// deterministic link insertion order.
+	prov := make([][]int32, n)
+	cust := make([][]int32, n)
+	peer := make([][]int32, n)
+	sib := make([][]int32, n)
+	nSiblings := 0
 	keys := make([][2]bgp.ASN, 0, len(b.links))
 	for k := range b.links {
 		keys = append(keys, k)
@@ -179,79 +179,167 @@ func (b *Builder) Build() (*Graph, error) {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, k := range keys {
-		i0, i1 := g.index[k[0]], g.index[k[1]]
+		i0, i1 := b.index[k[0]], b.index[k[1]]
 		switch b.links[k] {
 		case ProviderToCustomer: // k[0] provider of k[1]
-			g.customers[i0] = append(g.customers[i0], i1)
-			g.providers[i1] = append(g.providers[i1], i0)
+			cust[i0] = append(cust[i0], i1)
+			prov[i1] = append(prov[i1], i0)
 		case relC2P: // k[1] provider of k[0]
-			g.customers[i1] = append(g.customers[i1], i0)
-			g.providers[i0] = append(g.providers[i0], i1)
+			cust[i1] = append(cust[i1], i0)
+			prov[i0] = append(prov[i0], i1)
 		case PeerToPeer:
-			g.peers[i0] = append(g.peers[i0], i1)
-			g.peers[i1] = append(g.peers[i1], i0)
+			peer[i0] = append(peer[i0], i1)
+			peer[i1] = append(peer[i1], i0)
 		case SiblingToSibling:
-			g.siblings[i0] = append(g.siblings[i0], i1)
-			g.siblings[i1] = append(g.siblings[i1], i0)
-			g.nSiblings += 2
+			sib[i0] = append(sib[i0], i1)
+			sib[i1] = append(sib[i1], i0)
+			nSiblings += 2
 		}
 	}
-	if err := g.computeUpTopo(); err != nil {
+	order, err := upTopoNumbering(b.asns, prov, cust)
+	if err != nil {
 		return nil, err
 	}
+	perm := make([]int32, n) // registration index -> dense (topological) index
+	for newI, old := range order {
+		perm[old] = int32(newI)
+	}
+
+	g := &Graph{
+		asns:      make([]bgp.ASN, n),
+		enum:      append([]bgp.ASN(nil), b.asns...),
+		index:     make(map[bgp.ASN]int32, n),
+		nSiblings: nSiblings,
+	}
+	for newI, old := range order {
+		g.asns[newI] = b.asns[old]
+		g.index[b.asns[old]] = int32(newI)
+	}
+
+	// CSR offsets, then both backing arrays in one pass each.
+	g.off = make([]int32, 4*n+1)
+	total := int32(0)
+	for newI := 0; newI < n; newI++ {
+		old := order[newI]
+		for c, lst := range [4][]int32{prov[old], cust[old], peer[old], sib[old]} {
+			total += int32(len(lst))
+			g.off[4*newI+c+1] = total
+		}
+	}
+	g.adj = make([]int32, total)
+	g.asnAdj = make([]bgp.ASN, total)
+	for newI := 0; newI < n; newI++ {
+		old := order[newI]
+		for c, lst := range [4][]int32{prov[old], cust[old], peer[old], sib[old]} {
+			lo := int(g.off[4*newI+c])
+			span := g.adj[lo : lo+len(lst)]
+			for t, o := range lst {
+				span[t] = perm[o]
+			}
+			sort.Slice(span, func(x, y int) bool { return span[x] < span[y] })
+			aspan := g.asnAdj[lo : lo+len(lst)]
+			for t, ni := range span {
+				aspan[t] = g.asns[ni]
+			}
+			sort.Slice(aspan, func(x, y int) bool { return aspan[x] < aspan[y] })
+		}
+	}
+
+	// Dense indices are up-topological by construction.
+	g.upTopo = make([]int32, n)
+	for i := range g.upTopo {
+		g.upTopo[i] = int32(i)
+	}
 	g.computeTiers()
+	for i, t := range g.tier {
+		if t == 1 {
+			g.tier1 = append(g.tier1, g.asns[i])
+		}
+	}
+	sort.Slice(g.tier1, func(x, y int) bool { return g.tier1[x] < g.tier1[y] })
 	return g, nil
 }
 
-// computeUpTopo computes a topological order of the customer->provider DAG
-// (Kahn's algorithm), failing if the provider hierarchy has a cycle.
-func (g *Graph) computeUpTopo() error {
-	n := len(g.asns)
+// upTopoNumbering computes the canonical up-topological order of the
+// customer->provider DAG: Kahn's algorithm always emitting the ready AS
+// with the lowest ASN (a min-heap frontier). The result depends only on
+// the AS set and link structure — never on registration order — so
+// rebuilding a graph reproduces its dense numbering (Rebuild relies on
+// this). Fails if the provider hierarchy has a cycle.
+func upTopoNumbering(asns []bgp.ASN, prov, cust [][]int32) ([]int32, error) {
+	n := len(asns)
 	indeg := make([]int32, n) // number of customers not yet emitted
-	for i := 0; i < n; i++ {
-		indeg[i] = int32(len(g.customers[i]))
+	for i := range cust {
+		indeg[i] = int32(len(cust[i]))
 	}
-	// Deterministic queue: process ready nodes in index order using a
-	// sorted frontier.
-	frontier := make([]int32, 0, n)
+	heap := make([]int32, 0, n)
+	push := func(u int32) {
+		heap = append(heap, u)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if asns[heap[p]] <= asns[heap[c]] {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int32 {
+		u := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && asns[heap[c+1]] < asns[heap[c]] {
+				c++
+			}
+			if asns[heap[p]] <= asns[heap[c]] {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			p = c
+		}
+		return u
+	}
 	for i := int32(0); i < int32(n); i++ {
 		if indeg[i] == 0 {
-			frontier = append(frontier, i)
+			push(i)
 		}
 	}
 	order := make([]int32, 0, n)
-	for len(frontier) > 0 {
-		u := frontier[0]
-		frontier = frontier[1:]
+	for len(heap) > 0 {
+		u := pop()
 		order = append(order, u)
-		for _, p := range g.providers[u] {
-			indeg[p]--
-			if indeg[p] == 0 {
-				frontier = append(frontier, p)
+		for _, p := range prov[u] {
+			if indeg[p]--; indeg[p] == 0 {
+				push(p)
 			}
 		}
 	}
 	if len(order) != n {
-		return errors.New("topology: provider-customer cycle detected")
+		return nil, errors.New("topology: provider-customer cycle detected")
 	}
-	g.upTopo = order
-	return nil
+	return order, nil
 }
 
-// computeTiers assigns tier 1 to provider-free ASes and 1+min(provider tier)
-// to everyone else; upTopo order guarantees providers are labeled after all
-// their customers, so we walk the order backwards (providers first).
+// computeTiers assigns tier 1 to provider-free ASes and 1+min(provider
+// tier) to everyone else. Dense indices are up-topological, so a descending
+// index walk labels every provider before all of its customers.
 func (g *Graph) computeTiers() {
-	n := len(g.asns)
+	n := int32(len(g.asns))
 	g.tier = make([]uint8, n)
-	for k := n - 1; k >= 0; k-- {
-		i := g.upTopo[k]
-		if len(g.providers[i]) == 0 {
+	for i := n - 1; i >= 0; i-- {
+		provs := g.idxSpan(i, spanProv)
+		if len(provs) == 0 {
 			g.tier[i] = 1
 			continue
 		}
 		best := uint8(255)
-		for _, p := range g.providers[i] {
+		for _, p := range provs {
 			if g.tier[p] < best {
 				best = g.tier[p]
 			}

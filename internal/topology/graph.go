@@ -4,6 +4,23 @@
 //
 // Graphs are immutable once built (see Builder), which makes them safe to
 // share across the concurrent experiment drivers without locking.
+//
+// # Memory layout
+//
+// Adjacency is stored in CSR (compressed sparse row) form: one flat backing
+// array holds every AS's neighbors — providers, customers, peers, siblings,
+// contiguously in that class order — and a span-offset table slices it per
+// (AS, class). Dense indices are assigned in up-topological order of the
+// customer->provider DAG at build time (every customer's index is smaller
+// than all of its providers'), so UpTopoOrder is the identity permutation
+// and the routing engines' DAG phases are plain ascending/descending index
+// scans over sequential memory. The numbering is canonical: it depends only
+// on the AS set and link structure (Kahn's algorithm always emitting the
+// lowest-ASN ready AS), never on registration order, so Rebuild reproduces
+// a graph's indices exactly. ASNs() deliberately preserves registration
+// order instead — every seeded sampling stream in the experiment drivers
+// draws from it, and those streams must not shift when the internal
+// numbering does.
 package topology
 
 import (
@@ -75,42 +92,75 @@ func (r RelTo) String() string {
 	}
 }
 
+// CSR span classes, in backing-array order.
+const (
+	spanProv int32 = iota
+	spanCust
+	spanPeer
+	spanSib
+	spanClasses
+)
+
 // Graph is an immutable AS-level topology. ASes are indexed densely
-// (0..NumASes-1); the index<->ASN mapping and relationship-partitioned
+// (0..NumASes-1) in up-topological order (see the package doc's memory
+// layout notes); the index<->ASN mapping and relationship-partitioned CSR
 // adjacency are fixed at build time.
 type Graph struct {
-	asns  []bgp.ASN
+	asns []bgp.ASN // dense (topological) index -> ASN
+	enum []bgp.ASN // registration order, backing ASNs()
+
 	index map[bgp.ASN]int32
 
-	providers [][]int32 // providers[i]: indices of i's providers
-	customers [][]int32 // customers[i]: indices of i's customers
-	peers     [][]int32 // peers[i]: indices of i's peers
-	siblings  [][]int32 // siblings[i]: indices of i's siblings
-	nSiblings int       // total sibling adjacencies (2 per link)
+	// CSR adjacency: adj holds every AS's neighbors contiguously
+	// (providers, customers, peers, siblings), off[4i..4i+4] bound the
+	// four spans of AS i; asnAdj mirrors adj as ASNs, each span sorted
+	// ascending, backing the ASN-keyed accessors without per-call work.
+	adj    []int32
+	asnAdj []bgp.ASN
+	off    []int32 // len 4n+1
 
-	tier   []uint8 // 1 = top of hierarchy, increasing downward
-	upTopo []int32 // customers-before-providers order (customer->provider DAG)
+	nSiblings int // total sibling adjacencies (2 per link)
+
+	tier   []uint8   // 1 = top of hierarchy, increasing downward
+	upTopo []int32   // identity permutation (indices ARE up-topological)
+	tier1  []bgp.ASN // provider-free core, sorted by ASN
 }
 
 // NumASes returns the number of ASes in the graph.
 func (g *Graph) NumASes() int { return len(g.asns) }
+
+// idxSpan returns the class-c neighbor span of AS i, capacity-clipped so a
+// caller's append can never write into the adjacent span.
+func (g *Graph) idxSpan(i, c int32) []int32 {
+	lo, hi := g.off[4*i+c], g.off[4*i+c+1]
+	return g.adj[lo:hi:hi]
+}
+
+// asnSpan is idxSpan over the sorted-ASN mirror.
+func (g *Graph) asnSpan(i, c int32) []bgp.ASN {
+	lo, hi := g.off[4*i+c], g.off[4*i+c+1]
+	return g.asnAdj[lo:hi:hi]
+}
 
 // NumLinks returns the number of undirected adjacencies.
 func (g *Graph) NumLinks() int {
 	// Customer links are counted once (from the provider side); peer and
 	// sibling adjacencies appear on both endpoints.
 	n, peerAdj := 0, 0
-	for i := range g.asns {
-		n += len(g.customers[i])
-		peerAdj += len(g.peers[i])
+	for i := int32(0); i < int32(len(g.asns)); i++ {
+		n += len(g.idxSpan(i, spanCust))
+		peerAdj += len(g.idxSpan(i, spanPeer))
 	}
 	return n + peerAdj/2 + g.nSiblings/2
 }
 
-// ASNs returns a copy of all AS numbers, in index order.
+// ASNs returns a copy of all AS numbers, in registration order — the order
+// ASes were added to the Builder. This order is what every seeded sampling
+// stream in the experiment drivers iterates, and it is deliberately
+// independent of the internal topological index numbering.
 func (g *Graph) ASNs() []bgp.ASN {
-	out := make([]bgp.ASN, len(g.asns))
-	copy(out, g.asns)
+	out := make([]bgp.ASN, len(g.enum))
+	copy(out, g.enum)
 	return out
 }
 
@@ -130,67 +180,63 @@ func (g *Graph) Has(asn bgp.ASN) bool {
 }
 
 // ProvidersIdx returns the provider indices of AS index i. The returned
-// slice is internal storage: callers must treat it as read-only.
-func (g *Graph) ProvidersIdx(i int32) []int32 { return g.providers[i] }
+// slice is internal storage: callers must treat it as read-only. Spans are
+// sorted ascending by index.
+func (g *Graph) ProvidersIdx(i int32) []int32 { return g.idxSpan(i, spanProv) }
 
 // CustomersIdx returns the customer indices of AS index i (read-only).
-func (g *Graph) CustomersIdx(i int32) []int32 { return g.customers[i] }
+func (g *Graph) CustomersIdx(i int32) []int32 { return g.idxSpan(i, spanCust) }
 
 // PeersIdx returns the peer indices of AS index i (read-only).
-func (g *Graph) PeersIdx(i int32) []int32 { return g.peers[i] }
+func (g *Graph) PeersIdx(i int32) []int32 { return g.idxSpan(i, spanPeer) }
 
 // SiblingsIdx returns the sibling indices of AS index i (read-only).
-func (g *Graph) SiblingsIdx(i int32) []int32 { return g.siblings[i] }
+func (g *Graph) SiblingsIdx(i int32) []int32 { return g.idxSpan(i, spanSib) }
 
 // HasSiblings reports whether the topology contains any sibling links.
 // Sibling-bearing topologies require the message-level routing engine.
 func (g *Graph) HasSiblings() bool { return g.nSiblings > 0 }
 
-// neighborsByASN converts an index adjacency list to a sorted ASN slice.
-func (g *Graph) neighborsByASN(idx []int32) []bgp.ASN {
-	out := make([]bgp.ASN, len(idx))
-	for i, j := range idx {
-		out[i] = g.asns[j]
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
-
-// Providers returns the providers of asn (sorted copy); nil if asn is
-// unknown or has none.
+// Providers returns the providers of asn, sorted by ASN; nil if asn is
+// unknown or has none. The returned slice is shared read-only storage,
+// precomputed at build time: callers must not modify it in place
+// (appending is safe — the view is capacity-clipped).
 func (g *Graph) Providers(asn bgp.ASN) []bgp.ASN {
 	i, ok := g.index[asn]
 	if !ok {
 		return nil
 	}
-	return g.neighborsByASN(g.providers[i])
+	return g.asnSpan(i, spanProv)
 }
 
-// Customers returns the customers of asn (sorted copy).
+// Customers returns the customers of asn, sorted by ASN (shared read-only
+// storage; see Providers).
 func (g *Graph) Customers(asn bgp.ASN) []bgp.ASN {
 	i, ok := g.index[asn]
 	if !ok {
 		return nil
 	}
-	return g.neighborsByASN(g.customers[i])
+	return g.asnSpan(i, spanCust)
 }
 
-// Peers returns the peers of asn (sorted copy).
+// Peers returns the peers of asn, sorted by ASN (shared read-only storage;
+// see Providers).
 func (g *Graph) Peers(asn bgp.ASN) []bgp.ASN {
 	i, ok := g.index[asn]
 	if !ok {
 		return nil
 	}
-	return g.neighborsByASN(g.peers[i])
+	return g.asnSpan(i, spanPeer)
 }
 
-// Siblings returns the siblings of asn (sorted copy).
+// Siblings returns the siblings of asn, sorted by ASN (shared read-only
+// storage; see Providers).
 func (g *Graph) Siblings(asn bgp.ASN) []bgp.ASN {
 	i, ok := g.index[asn]
 	if !ok {
 		return nil
 	}
-	return g.neighborsByASN(g.siblings[i])
+	return g.asnSpan(i, spanSib)
 }
 
 // Degree returns the total number of neighbors of asn.
@@ -199,7 +245,7 @@ func (g *Graph) Degree(asn bgp.ASN) int {
 	if !ok {
 		return 0
 	}
-	return len(g.providers[i]) + len(g.customers[i]) + len(g.peers[i]) + len(g.siblings[i])
+	return int(g.off[4*i+4] - g.off[4*i])
 }
 
 // RelOf reports how b relates to a: RelProvider means b is a's provider.
@@ -212,22 +258,22 @@ func (g *Graph) RelOf(a, b bgp.ASN) RelTo {
 	if !ok {
 		return RelNone
 	}
-	for _, j := range g.providers[ia] {
+	for _, j := range g.idxSpan(ia, spanProv) {
 		if j == ib {
 			return RelProvider
 		}
 	}
-	for _, j := range g.customers[ia] {
+	for _, j := range g.idxSpan(ia, spanCust) {
 		if j == ib {
 			return RelCustomer
 		}
 	}
-	for _, j := range g.peers[ia] {
+	for _, j := range g.idxSpan(ia, spanPeer) {
 		if j == ib {
 			return RelPeer
 		}
 	}
-	for _, j := range g.siblings[ia] {
+	for _, j := range g.idxSpan(ia, spanSib) {
 		if j == ib {
 			return RelSibling
 		}
@@ -251,16 +297,12 @@ func (g *Graph) TierIdx(i int32) int { return int(g.tier[i]) }
 // IsTier1 reports whether the AS has no providers.
 func (g *Graph) IsTier1(asn bgp.ASN) bool { return g.Tier(asn) == 1 }
 
-// Tier1s returns all tier-1 ASes, sorted by ASN.
+// Tier1s returns all tier-1 ASes, sorted by ASN. The returned slice is
+// shared read-only storage, precomputed at build time: callers that need
+// to reorder it must copy first (appending is safe — the view is
+// capacity-clipped).
 func (g *Graph) Tier1s() []bgp.ASN {
-	var out []bgp.ASN
-	for i, t := range g.tier {
-		if t == 1 {
-			out = append(out, g.asns[i])
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return g.tier1[:len(g.tier1):len(g.tier1)]
 }
 
 // IsStub reports whether the AS has no customers.
@@ -269,7 +311,7 @@ func (g *Graph) IsStub(asn bgp.ASN) bool {
 	if !ok {
 		return false
 	}
-	return len(g.customers[i]) == 0
+	return g.off[4*i+spanCust] == g.off[4*i+spanCust+1]
 }
 
 // TopByDegree returns the n highest-degree ASes, ties broken by lower ASN.
@@ -317,17 +359,19 @@ type ConnectivityReport struct {
 func (g *Graph) Connectivity() ConnectivityReport {
 	var r ConnectivityReport
 	// An AS reaches the core if it is tier-1-with-peers or any of its
-	// providers does; walk providers-first (reverse UpTopoOrder).
+	// providers does; walk providers-first (descending index order, the
+	// reverse up-topological order).
 	reaches := make([]bool, len(g.asns))
-	for k := len(g.upTopo) - 1; k >= 0; k-- {
-		i := g.upTopo[k]
+	for i := int32(len(g.asns)) - 1; i >= 0; i-- {
 		t := int(g.tier[i])
 		if t > r.MaxTier {
 			r.MaxTier = t
 		}
 		if t == 1 {
 			r.Tier1++
-			if len(g.peers[i]) == 0 && len(g.customers[i]) == 0 && len(g.siblings[i]) == 0 {
+			if len(g.idxSpan(i, spanPeer)) == 0 &&
+				len(g.idxSpan(i, spanCust)) == 0 &&
+				len(g.idxSpan(i, spanSib)) == 0 {
 				r.Islands++
 				continue
 			}
@@ -335,7 +379,7 @@ func (g *Graph) Connectivity() ConnectivityReport {
 			r.CoreReachable++
 			continue
 		}
-		for _, p := range g.providers[i] {
+		for _, p := range g.idxSpan(i, spanProv) {
 			if reaches[p] {
 				reaches[i] = true
 				r.CoreReachable++
@@ -361,7 +405,7 @@ func (g *Graph) CustomerConeSize(asn bgp.ASN) int {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range g.customers[u] {
+		for _, c := range g.idxSpan(u, spanCust) {
 			if !seen[c] {
 				seen[c] = true
 				stack = append(stack, c)
@@ -373,22 +417,24 @@ func (g *Graph) CustomerConeSize(asn bgp.ASN) int {
 
 // UpTopoOrder returns an order of AS indices in which every customer appears
 // before all of its providers (a topological order of the customer->provider
-// DAG). The returned slice is internal storage: read-only.
+// DAG). Dense indices are themselves assigned in up-topological order, so
+// this is the identity permutation — engines may equivalently run plain
+// ascending index scans. The returned slice is internal storage: read-only.
 func (g *Graph) UpTopoOrder() []int32 { return g.upTopo }
 
 // Links enumerates every link once, providers first, sorted for determinism.
 func (g *Graph) Links() []Link {
 	var out []Link
-	for i := range g.asns {
-		for _, c := range g.customers[i] {
+	for i := int32(0); i < int32(len(g.asns)); i++ {
+		for _, c := range g.idxSpan(i, spanCust) {
 			out = append(out, Link{A: g.asns[i], B: g.asns[c], Rel: ProviderToCustomer})
 		}
-		for _, p := range g.peers[i] {
+		for _, p := range g.idxSpan(i, spanPeer) {
 			if g.asns[i] < g.asns[p] {
 				out = append(out, Link{A: g.asns[i], B: g.asns[p], Rel: PeerToPeer})
 			}
 		}
-		for _, s := range g.siblings[i] {
+		for _, s := range g.idxSpan(i, spanSib) {
 			if g.asns[i] < g.asns[s] {
 				out = append(out, Link{A: g.asns[i], B: g.asns[s], Rel: SiblingToSibling})
 			}

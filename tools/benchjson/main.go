@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the repo's benchmark-JSON record (see EXPERIMENTS.md for the
+// schema): a flat object mapping benchmark name to its ns/op, B/op and
+// allocs/op. `make bench-json` pipes the tier-1 benchmark suite through it
+// to produce BENCH_pr4.json, the committed baseline that future PRs (and
+// benchstat runs) compare against.
+//
+// The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so the record
+// is stable across machines; non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's record. B/op and allocs/op are -1 when the
+// benchmark did not report memory (no -benchmem and no b.ReportAllocs), so
+// "didn't measure" is distinguishable from "measured zero".
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	results := map[string]metrics{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench -benchmem` output)")
+	}
+
+	// Deterministic key order so the committed JSON diffs cleanly.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(results[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err := out.WriteString(b.String())
+	return err
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkPropagateReuse/reuse-4  5000  201646 ns/op  0 B/op  0 allocs/op
+func parseLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", metrics{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	m := metrics{BytesPerOp: -1, AllocsPerOp: -1}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", metrics{}, false
+			}
+			m.NsPerOp = f
+			seenNs = true
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return "", metrics{}, false
+			}
+			m.BytesPerOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return "", metrics{}, false
+			}
+			m.AllocsPerOp = v
+		}
+	}
+	return name, m, seenNs
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		m    metrics
+		ok   bool
+	}{
+		{
+			line: "BenchmarkPropagateReuse/reuse-4  5000  201646 ns/op  0 B/op  0 allocs/op",
+			name: "PropagateReuse/reuse",
+			m:    metrics{NsPerOp: 201646, BytesPerOp: 0, AllocsPerOp: 0},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkFig9Sweep-16  2  633452112 ns/op",
+			name: "Fig9Sweep",
+			m:    metrics{NsPerOp: 633452112, BytesPerOp: -1, AllocsPerOp: -1},
+			ok:   true,
+		},
+		{
+			// Sub-benchmark names may themselves contain dashes; only a
+			// trailing numeric -N is the GOMAXPROCS suffix.
+			line: "BenchmarkDeltaVsFull/delta-engine-8  100  791284 ns/op  12 B/op  1 allocs/op",
+			name: "DeltaVsFull/delta-engine",
+			m:    metrics{NsPerOp: 791284, BytesPerOp: 12, AllocsPerOp: 1},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \taspp\t42.1s", ok: false},
+		{line: "BenchmarkBroken-4 garbage", ok: false},
+	}
+	for _, c := range cases {
+		name, m, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok=%v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name || m != c.m {
+			t.Errorf("parseLine(%q) = %q %+v, want %q %+v", c.line, name, m, c.name, c.m)
+		}
+	}
+}
