@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json lint-panics
+.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff lint-panics lint-paths
 
 # Tier-1 matrix: everything CI gates on.
-check: lint-panics
+check: lint-panics lint-paths
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
@@ -19,6 +19,18 @@ lint-panics:
 		--include='*.go' --exclude='*_test.go' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "panic() calls in gated non-test code (return an error instead):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+# The detection/measurement pipeline is arena-backed (DESIGN.md §5c): hot
+# paths pass routing.PathSpan views, not materialized bgp.Path slices.
+# Flag fresh path allocations sneaking back into the gated non-test code.
+lint-paths:
+	@bad=$$(grep -rn -e 'make(bgp\.Path' -e 'append(path' \
+		internal/detect internal/measure internal/relinfer \
+		--include='*.go' --exclude='*_test.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "path allocations in arena-backed hot paths (use routing.PathArena spans; see DESIGN.md 5c):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -40,17 +52,23 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Every benchmark body runs exactly once, so benchmarks compile and execute
-# on every `make check` and can never bit-rot. Not a measurement.
+# on every `make check` and can never bit-rot. Not a measurement. The ./...
+# sweep includes the PR 5 arena/detector benchmarks (BenchmarkPathsInto in
+# internal/routing, BenchmarkDetectorObserve in internal/detect).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable record of the tier-1 benchmark suite: run the root
 # package benchmarks with -benchmem and parse the output into
-# BENCH_pr4.json (benchmark name -> ns/op, B/op, allocs/op; schema in
+# BENCH_pr5.json (benchmark name -> ns/op, B/op, allocs/op; schema in
 # EXPERIMENTS.md). The committed file is the baseline future PRs diff
-# against, e.g. with benchstat (see README).
+# against, via `benchjson -diff` or benchstat (see README).
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
-	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr4.json
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr5.json
 	@rm -f .bench.out.tmp
-	@echo wrote BENCH_pr4.json
+	@echo wrote BENCH_pr5.json
+
+# Per-benchmark before/after table plus geomean for the PR 5 record.
+bench-diff:
+	$(GO) run ./tools/benchjson -diff BENCH_pr4.json BENCH_pr5.json

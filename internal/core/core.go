@@ -167,12 +167,21 @@ func (im *Impact) IsPolluted(asn bgp.ASN) bool {
 // AS is not polluted. The detection-latency experiment uses this as the
 // bogus route's propagation time to that AS.
 func (im *Impact) HopsFromAttacker(asn bgp.ASN) int {
-	g := im.attacked.Graph()
-	i, ok := g.Index(asn)
-	if !ok || !im.attacked.Via[i] {
+	i, ok := im.attacked.Graph().Index(asn)
+	if !ok {
 		return -1
 	}
-	atkIdx := mustIdx(g, im.Scenario.Attacker)
+	return im.HopsFromAttackerIdx(i)
+}
+
+// HopsFromAttackerIdx is HopsFromAttacker by dense graph index — the
+// detection-latency hot path iterates the Via slice directly and skips
+// the ASN round trip.
+func (im *Impact) HopsFromAttackerIdx(i int32) int {
+	if !im.attacked.Via[i] {
+		return -1
+	}
+	atkIdx := mustIdx(im.attacked.Graph(), im.Scenario.Attacker)
 	hops := 0
 	for j := i; j != atkIdx; j = im.attacked.Parent[j] {
 		hops++

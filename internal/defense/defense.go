@@ -115,13 +115,20 @@ func drawAttacks(g *topology.Graph, cfg Config, n int, rng *rand.Rand) (*attackS
 			candidates = append(candidates, m)
 		}
 	}
+	// Every candidate attacks the same victim announcement, so one
+	// baseline propagation serves the whole draw (shared read-only, per
+	// the SimulateWithBaseline contract) instead of one per candidate.
+	base, err := core.BaselineOnly(g, core.Scenario{Victim: cfg.Victim, Prepend: cfg.Prepend})
+	if err != nil {
+		return nil, fmt.Errorf("defense: baseline for %v: %w", cfg.Victim, err)
+	}
 	sims, serr := parallel.MapErr(context.Background(), len(candidates), cfg.Workers, func(i int) (*core.Impact, error) {
-		im, err := core.Simulate(g, core.Scenario{
+		im, err := core.SimulateWithBaseline(g, core.Scenario{
 			Victim:            cfg.Victim,
 			Attacker:          candidates[i],
 			Prepend:           cfg.Prepend,
 			ViolateValleyFree: cfg.Violate,
-		})
+		}, base)
 		if routing.Skippable(err) {
 			return nil, nil // skippable draw: this attacker never hears the route
 		}

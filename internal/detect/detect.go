@@ -98,6 +98,23 @@ func transit(p bgp.Path) bgp.Path {
 	return u[:len(u)-1]
 }
 
+// spanRoute is the algorithm's internal view of one vantage point's
+// route: the pieces DetectChange actually reads, decoupled from how the
+// path is stored. The arena-backed paths (EvalScratch, Detector) build
+// these views off PathSpans without materializing bgp.Path slices; the
+// legacy path-slice API builds them eagerly.
+type spanRoute struct {
+	monitor bgp.ASN
+	origin  bgp.ASN
+	transit []bgp.ASN // unique transit chain; may alias an arena
+	lambda  int       // origin-prepend count; 0 = no route
+	// seg is the arena intern id of the transit chain, or -1 when the
+	// route was not interned. Two routes in one detectRoutes call always
+	// come from the same arena, so equal non-negative ids mean equal
+	// transit chains — the integer fast path for the suffix compare.
+	seg int32
+}
+
 // hasPeerStep reports whether any adjacent pair along chain is a peer link
 // (used by the pseudocode's "no peer links in r_t^d" hint condition).
 func hasPeerStep(chain bgp.Path, origin bgp.ASN, rels RelQuerier) bool {
@@ -120,36 +137,92 @@ func DetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute,
 	if len(prev) == 0 || len(cur) == 0 {
 		return nil
 	}
+	// Replicate the core's early-outs before building any views: most calls
+	// (no origin change, λ not decreased) never look at a witness, so their
+	// transit chains must not be materialized.
 	prevOrigin, _ := prev.Origin()
 	curOrigin, _ := cur.Origin()
 	if prevOrigin != curOrigin {
-		return nil // ownership change is a different attack class (MOAS)
+		return nil
 	}
 	lambdaT := cur.OriginPrepend()
-	lambdaPrev := prev.OriginPrepend()
-	if lambdaT >= lambdaPrev {
-		return nil // padded number did not decrease: not our trigger
+	prevLambda := prev.OriginPrepend()
+	if lambdaT >= prevLambda {
+		return nil
 	}
-
-	curT := transit(cur)
-	var alarms []Alarm
+	curView := spanRoute{
+		monitor: monitor,
+		origin:  curOrigin,
+		transit: transit(cur),
+		lambda:  lambdaT,
+		seg:     -1,
+	}
+	// Views only for witnesses that survive the core's cheap per-witness
+	// filters; transit (the one potentially allocating piece) is computed
+	// for survivors alone, matching the legacy code's laziness.
+	wv := make([]spanRoute, 0, len(witnesses))
 	for _, w := range witnesses {
 		if w.Monitor == monitor || len(w.Path) == 0 {
 			continue
 		}
-		if o, _ := w.Path.Origin(); o != curOrigin {
+		o, _ := w.Path.Origin()
+		lambdaL := w.Path.OriginPrepend()
+		if o != curOrigin || lambdaT >= lambdaL {
 			continue
 		}
-		lambdaL := w.Path.OriginPrepend()
+		wv = append(wv, spanRoute{
+			monitor: w.Monitor,
+			origin:  o,
+			transit: transit(w.Path),
+			lambda:  lambdaL,
+			seg:     -1,
+		})
+	}
+	return detectRoutes(monitor, prevLambda, prevOrigin, curView, wv, rels, nil)
+}
+
+// detectRoutes is the algorithm core shared by every entry point: the
+// legacy path-slice DetectChange, the arena-backed EvaluateScratch and
+// the streaming Detector. It appends any alarms to alarms and returns it.
+// All transit chains in one call must come from the same storage so seg
+// ids are comparable (see spanRoute.seg).
+func detectRoutes(monitor bgp.ASN, prevLambda int, prevOrigin bgp.ASN, cur spanRoute, witnesses []spanRoute, rels RelQuerier, alarms []Alarm) []Alarm {
+	if prevLambda == 0 || cur.lambda == 0 {
+		return alarms
+	}
+	if prevOrigin != cur.origin {
+		return alarms // ownership change is a different attack class (MOAS)
+	}
+	lambdaT := cur.lambda
+	if lambdaT >= prevLambda {
+		return alarms // padded number did not decrease: not our trigger
+	}
+
+	curT := bgp.Path(cur.transit)
+	for _, w := range witnesses {
+		if w.monitor == monitor || w.lambda == 0 {
+			continue
+		}
+		if w.origin != cur.origin {
+			continue
+		}
+		lambdaL := w.lambda
 		if lambdaT >= lambdaL {
 			continue // witness shows no extra padding: consistent
 		}
-		witT := transit(w.Path)
+		witT := bgp.Path(w.transit)
 
 		// Direct symptom: the two routes share the chain adjacent to the
 		// origin, so the origin's neighbor received both — with different
 		// padding. Impossible under consistent per-neighbor policy.
-		if m := curT.CommonSuffixLen(witT); m >= 1 {
+		// Identical interned segments short-circuit the suffix compare.
+		var m int
+		if cur.seg >= 0 && cur.seg == w.seg {
+			m = len(curT)
+		} else {
+			m = curT.CommonSuffixLen(witT)
+		}
+		if m >= 1 {
 			suspect := monitor
 			if m < len(curT) {
 				suspect = curT[len(curT)-1-m]
@@ -158,7 +231,7 @@ func DetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute,
 				Confidence:  High,
 				Suspect:     suspect,
 				Monitor:     monitor,
-				Witness:     w.Monitor,
+				Witness:     w.monitor,
 				RemovedPads: lambdaL - lambdaT,
 			})
 			continue
@@ -189,7 +262,7 @@ func DetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute,
 		case topology.RelPeer:
 			// Peers hear customer routes; if the monitor's route climbed
 			// only customer-provider links, asIm1 could export it to asL.
-			hint = !hasPeerStep(curT, curOrigin, rels)
+			hint = !hasPeerStep(curT, cur.origin, rels)
 		case topology.RelCustomer:
 			// asL is asIm1's customer and itself chose a provider route:
 			// providers export everything down, so asL should have heard
@@ -201,7 +274,7 @@ func DetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute,
 				Confidence: Possible,
 				Suspect:    asI,
 				Monitor:    monitor,
-				Witness:    w.Monitor,
+				Witness:    w.monitor,
 			})
 		}
 	}

@@ -5,75 +5,169 @@ import (
 	"sort"
 
 	"aspp/internal/bgp"
+	"aspp/internal/routing"
 )
 
 // Detector consumes a live BGP update stream from a set of vantage points
 // (the deployment mode of the paper's Section V: a prefix owner watching
 // RouteViews/RIPE-style feeds with a PHAS-like monitor) and raises alarms
 // as inconsistencies appear.
+//
+// Route state is arena-backed: per prefix, one PathSpan per monitor
+// (dense monitor index) into a detector-owned routing.PathArena, instead
+// of a map of cloned bgp.Path slices per update. Replacing a route reuses
+// its slot when the new body fits; abandoned bodies are tracked and the
+// arena compacted once they outweigh the live ones, so the detector's
+// footprint stays proportional to its current table.
 type Detector struct {
-	monitors map[bgp.ASN]bool
-	rels     RelQuerier
-	// routes[prefix][monitor] is the latest announced path.
-	routes map[netip.Prefix]map[bgp.ASN]bgp.Path
+	rels RelQuerier
+	// monASN is the sorted vantage-point set; monIdx maps an ASN to its
+	// dense position in monASN (and in every per-prefix span row).
+	monASN []bgp.ASN
+	monIdx map[bgp.ASN]int32
+
+	arena *routing.PathArena
+	// routes[prefix] is one span per monitor (dense index); the empty
+	// span (Prep == 0) means "no route announced".
+	routes map[netip.Prefix][]routing.PathSpan
+
+	// live counts arena body elements referenced by current spans; the
+	// rest of the arena (arena.Size() - live) is dead weight left behind
+	// by Replace and withdrawals. Compaction triggers when dead outgrows
+	// live.
+	live int
+
+	wits     []spanRoute         // reusable witness views for Observe
+	liveRefs []*routing.PathSpan // compaction scratch
 }
 
 // NewDetector builds a streaming detector for the given vantage points.
 // rels may be nil to disable the relationship-hint rules.
 func NewDetector(monitors []bgp.ASN, rels RelQuerier) *Detector {
-	m := make(map[bgp.ASN]bool, len(monitors))
+	idx := make(map[bgp.ASN]int32, len(monitors))
+	asns := make([]bgp.ASN, 0, len(monitors))
 	for _, asn := range monitors {
-		m[asn] = true
+		if _, dup := idx[asn]; !dup {
+			idx[asn] = 0 // placeholder; assigned after sorting
+			asns = append(asns, asn)
+		}
+	}
+	sort.Slice(asns, func(a, b int) bool { return asns[a] < asns[b] })
+	for i, asn := range asns {
+		idx[asn] = int32(i)
 	}
 	return &Detector{
-		monitors: m,
-		rels:     rels,
-		routes:   make(map[netip.Prefix]map[bgp.ASN]bgp.Path),
+		rels:   rels,
+		monASN: asns,
+		monIdx: idx,
+		arena:  routing.NewPathArena(),
+		routes: make(map[netip.Prefix][]routing.PathSpan),
 	}
 }
 
 // Monitors returns the configured vantage points, sorted.
 func (d *Detector) Monitors() []bgp.ASN {
-	out := make([]bgp.ASN, 0, len(d.monitors))
-	for asn := range d.monitors {
-		out = append(out, asn)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return append([]bgp.ASN(nil), d.monASN...)
 }
 
 // Observe processes one update and returns any alarms it triggers.
-// Updates from non-monitor ASes are ignored.
+// Updates from non-monitor ASes are ignored. Warmed steady state — every
+// prefix and transit segment seen before, no alarms — runs
+// allocation-free.
 func (d *Detector) Observe(u bgp.Update) []Alarm {
-	if err := u.Validate(); err != nil || !d.monitors[u.Monitor] {
+	if err := u.Validate(); err != nil {
 		return nil
 	}
-	table := d.routes[u.Prefix]
-	if table == nil {
-		table = make(map[bgp.ASN]bgp.Path)
-		d.routes[u.Prefix] = table
+	mi, ok := d.monIdx[u.Monitor]
+	if !ok {
+		return nil
 	}
-	prev := table[u.Monitor]
+	spans := d.routes[u.Prefix]
+	if spans == nil {
+		spans = make([]routing.PathSpan, len(d.monASN))
+		for i := range spans {
+			spans[i].Seg = -1
+		}
+		d.routes[u.Prefix] = spans
+	}
+	prev := spans[mi]
 	if u.Type == bgp.Withdraw {
-		delete(table, u.Monitor)
+		d.live -= int(prev.Len) // empty spans have Len 0
+		spans[mi] = routing.PathSpan{Seg: -1}
+		d.maybeCompact()
 		return nil
 	}
-	table[u.Monitor] = u.Path.Clone()
-	if prev == nil {
+
+	// Store the new route. Witness transit views read the interned
+	// segment table (stable across body appends), and prev's trigger
+	// fields are scalars already copied out — so storing before
+	// detection is safe, and matches the legacy order.
+	cur, _ := d.arena.Replace(prev, u.Path)
+	spans[mi] = cur
+	d.live += int(cur.Len) - int(prev.Len)
+	d.maybeCompact()
+
+	if prev.Prep == 0 {
 		return nil // first sight of this prefix from this monitor
 	}
-	witnesses := make([]MonitorRoute, 0, len(table))
-	for m, p := range table {
-		if m != u.Monitor {
-			witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+	// DetectChange's early-outs, hoisted so no witness views are built
+	// when the update cannot trigger: same verdicts, less work.
+	if cur.Origin != prev.Origin || int(cur.Prep) >= int(prev.Prep) {
+		return nil
+	}
+
+	d.wits = d.wits[:0]
+	for i := range spans {
+		sp := spans[i]
+		if int32(i) == mi || sp.Prep == 0 {
+			continue
+		}
+		d.wits = append(d.wits, spanRoute{
+			monitor: d.monASN[i],
+			origin:  sp.Origin,
+			transit: d.arena.SegBody(sp.Seg),
+			lambda:  int(sp.Prep),
+			seg:     sp.Seg,
+		})
+	}
+	curView := spanRoute{
+		monitor: u.Monitor,
+		origin:  cur.Origin,
+		transit: d.arena.SegBody(cur.Seg),
+		lambda:  int(cur.Prep),
+		seg:     cur.Seg,
+	}
+	return detectRoutes(u.Monitor, int(prev.Prep), prev.Origin, curView, d.wits, d.rels, nil)
+}
+
+// maybeCompact rewrites the arena once abandoned bodies outweigh live
+// ones, updating every span's offset in place.
+func (d *Detector) maybeCompact() {
+	dead := d.arena.Size() - d.live
+	if dead <= d.live || dead == 0 {
+		return
+	}
+	d.liveRefs = d.liveRefs[:0]
+	for _, spans := range d.routes {
+		for i := range spans {
+			if spans[i].Prep > 0 {
+				d.liveRefs = append(d.liveRefs, &spans[i])
+			}
 		}
 	}
-	sort.Slice(witnesses, func(a, b int) bool { return witnesses[a].Monitor < witnesses[b].Monitor })
-	return DetectChange(u.Monitor, prev, u.Path, witnesses, d.rels)
+	d.arena.Compact(d.liveRefs)
 }
 
 // RouteOf returns the detector's current view of monitor's route for a
-// prefix (nil if unknown).
+// prefix (nil if unknown), materialized off the arena.
 func (d *Detector) RouteOf(prefix netip.Prefix, monitor bgp.ASN) bgp.Path {
-	return d.routes[prefix][monitor].Clone()
+	mi, ok := d.monIdx[monitor]
+	if !ok {
+		return nil
+	}
+	spans := d.routes[prefix]
+	if spans == nil {
+		return nil
+	}
+	return d.arena.Path(spans[mi])
 }

@@ -1,0 +1,471 @@
+package detect
+
+// Differential suite for the arena-backed detection path (PR 5): the
+// span-based EvaluateScratch and the streaming Detector are compared,
+// scenario by scenario, against verbatim copies of the pre-arena
+// reference implementations (path-slice DetectChange, map-of-Path
+// Detector). The references are frozen here in test code so the hot path
+// can keep evolving while the verdict semantics stay pinned.
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/core"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// legacyDetectChange is the original path-slice implementation of the
+// paper's Fig. 4 algorithm, kept verbatim as the differential reference.
+func legacyDetectChange(monitor bgp.ASN, prev, cur bgp.Path, witnesses []MonitorRoute, rels RelQuerier) []Alarm {
+	if len(prev) == 0 || len(cur) == 0 {
+		return nil
+	}
+	prevOrigin, _ := prev.Origin()
+	curOrigin, _ := cur.Origin()
+	if prevOrigin != curOrigin {
+		return nil
+	}
+	lambdaT := cur.OriginPrepend()
+	lambdaPrev := prev.OriginPrepend()
+	if lambdaT >= lambdaPrev {
+		return nil
+	}
+
+	curT := transit(cur)
+	var alarms []Alarm
+	for _, w := range witnesses {
+		if w.Monitor == monitor || len(w.Path) == 0 {
+			continue
+		}
+		if o, _ := w.Path.Origin(); o != curOrigin {
+			continue
+		}
+		lambdaL := w.Path.OriginPrepend()
+		if lambdaT >= lambdaL {
+			continue
+		}
+		witT := transit(w.Path)
+		if m := curT.CommonSuffixLen(witT); m >= 1 {
+			suspect := monitor
+			if m < len(curT) {
+				suspect = curT[len(curT)-1-m]
+			}
+			alarms = append(alarms, Alarm{
+				Confidence:  High,
+				Suspect:     suspect,
+				Monitor:     monitor,
+				Witness:     w.Monitor,
+				RemovedPads: lambdaL - lambdaT,
+			})
+			continue
+		}
+		if rels == nil || len(curT) < 2 || len(witT) < 1 {
+			continue
+		}
+		if len(witT)+lambdaL <= len(curT)+lambdaT {
+			continue
+		}
+		asI := curT[0]
+		asIm1 := curT[1]
+		asL := witT[0]
+		var asLm1 bgp.ASN
+		if len(witT) >= 2 {
+			asLm1 = witT[1]
+		}
+		hint := false
+		switch rels.RelOf(asIm1, asL) {
+		case topology.RelProvider:
+			hint = true
+		case topology.RelPeer:
+			hint = !hasPeerStep(curT, curOrigin, rels)
+		case topology.RelCustomer:
+			hint = asLm1 != 0 && rels.RelOf(asL, asLm1) == topology.RelProvider
+		}
+		if hint {
+			alarms = append(alarms, Alarm{
+				Confidence: Possible,
+				Suspect:    asI,
+				Monitor:    monitor,
+				Witness:    w.Monitor,
+			})
+		}
+	}
+	return alarms
+}
+
+// legacyEvaluate is the original materializing Evaluate, reference copy.
+func legacyEvaluate(im *core.Impact, monitors []bgp.ASN, rels RelQuerier) EvalResult {
+	baseline, attacked := im.Baseline(), im.Attacked()
+
+	witnesses := make([]MonitorRoute, 0, len(monitors))
+	for _, m := range monitors {
+		if p := attacked.PathOf(m); p != nil {
+			witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+
+	var res EvalResult
+	detectionHops := -1
+	for _, m := range monitors {
+		prev, cur := baseline.PathOf(m), attacked.PathOf(m)
+		alarms := legacyDetectChange(m, prev, cur, witnesses, rels)
+		if len(alarms) == 0 {
+			continue
+		}
+		res.Alarms = append(res.Alarms, alarms...)
+		res.Detected = true
+		for _, a := range alarms {
+			if a.Confidence == High {
+				res.DetectedHigh = true
+			}
+			if a.Suspect == im.Scenario.Attacker {
+				res.Attributed = true
+			}
+		}
+		if h := im.HopsFromAttacker(m); h >= 0 && (detectionHops < 0 || h < detectionHops) {
+			detectionHops = h
+		}
+	}
+
+	res.PollutedBeforeDetection = legacyPollutedBefore(im, detectionHops)
+	return res
+}
+
+func legacyPollutedBefore(im *core.Impact, detectionHops int) float64 {
+	polluted := im.PollutedASes()
+	if len(polluted) == 0 {
+		return 0
+	}
+	if detectionHops < 0 {
+		return 1
+	}
+	early := 0
+	for _, asn := range polluted {
+		if h := im.HopsFromAttacker(asn); h >= 0 && h < detectionHops {
+			early++
+		}
+	}
+	return float64(early) / float64(len(polluted))
+}
+
+// legacyDetector is the original map-of-cloned-Paths streaming detector,
+// reference copy for the Observe differential.
+type legacyDetector struct {
+	monitors map[bgp.ASN]bool
+	rels     RelQuerier
+	routes   map[netip.Prefix]map[bgp.ASN]bgp.Path
+}
+
+func newLegacyDetector(monitors []bgp.ASN, rels RelQuerier) *legacyDetector {
+	m := make(map[bgp.ASN]bool, len(monitors))
+	for _, asn := range monitors {
+		m[asn] = true
+	}
+	return &legacyDetector{
+		monitors: m,
+		rels:     rels,
+		routes:   make(map[netip.Prefix]map[bgp.ASN]bgp.Path),
+	}
+}
+
+func (d *legacyDetector) observe(u bgp.Update) []Alarm {
+	if err := u.Validate(); err != nil || !d.monitors[u.Monitor] {
+		return nil
+	}
+	table := d.routes[u.Prefix]
+	if table == nil {
+		table = make(map[bgp.ASN]bgp.Path)
+		d.routes[u.Prefix] = table
+	}
+	prev := table[u.Monitor]
+	if u.Type == bgp.Withdraw {
+		delete(table, u.Monitor)
+		return nil
+	}
+	table[u.Monitor] = u.Path.Clone()
+	if prev == nil {
+		return nil
+	}
+	witnesses := make([]MonitorRoute, 0, len(table))
+	for m, p := range table {
+		if m != u.Monitor {
+			witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+		}
+	}
+	sort.Slice(witnesses, func(a, b int) bool { return witnesses[a].Monitor < witnesses[b].Monitor })
+	return legacyDetectChange(u.Monitor, prev, u.Path, witnesses, d.rels)
+}
+
+func (d *legacyDetector) routeOf(prefix netip.Prefix, monitor bgp.ASN) bgp.Path {
+	return d.routes[prefix][monitor].Clone()
+}
+
+func diffTestGraph(t testing.TB, n int, seed int64) *topology.Graph {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(n)
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// diffScenarios draws the mixed scenario matrix: attacker/victim pools
+// spanning tier-1, high-degree and arbitrary (mostly stub) ASes, crossed
+// with λ ∈ 1..8 and follow/violate export policy. Returns the simulated
+// impacts (skippable draws dropped).
+func diffScenarios(t *testing.T, g *topology.Graph, perCombo int) []*core.Impact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	pools := [][]bgp.ASN{g.Tier1s(), g.TopByDegree(50), g.ASNs()}
+	var impacts []*core.Impact
+	for lambda := 1; lambda <= 8; lambda++ {
+		for _, violate := range []bool{false, true} {
+			for _, pool := range pools {
+				for k := 0; k < perCombo; k++ {
+					v := pool[rng.Intn(len(pool))]
+					m := g.ASNs()[rng.Intn(g.NumASes())]
+					if v == m {
+						continue
+					}
+					im, err := core.Simulate(g, core.Scenario{
+						Victim:            v,
+						Attacker:          m,
+						Prepend:           lambda,
+						ViolateValleyFree: violate,
+					})
+					if routing.Skippable(err) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("simulate λ=%d violate=%v %v/%v: %v", lambda, violate, v, m, err)
+					}
+					impacts = append(impacts, im)
+				}
+			}
+		}
+	}
+	return impacts
+}
+
+// TestEvaluateScratchDifferential runs ≥200 mixed attack scenarios and
+// asserts, for each: (a) the arena spans for the monitor set decode to
+// exactly the paths Result.PathOf materializes, and (b) the span-based
+// evaluation returns a verdict (alarms included, in order) identical to
+// the frozen legacy reference. One scratch is reused across all
+// scenarios, so span reuse across Resets is under test too.
+func TestEvaluateScratchDifferential(t *testing.T) {
+	g := diffTestGraph(t, 500, 11)
+	monitors := g.TopByDegree(50)
+	monIdx := make([]int32, len(monitors))
+	for i, m := range monitors {
+		idx, ok := g.Index(m)
+		if !ok {
+			idx = -1
+		}
+		monIdx[i] = idx
+	}
+	impacts := diffScenarios(t, g, 5)
+	if len(impacts) < 200 {
+		t.Fatalf("only %d usable scenarios, need >= 200 for the differential", len(impacts))
+	}
+
+	sc := NewEvalScratch()
+	arena := routing.NewPathArena()
+	var spans []routing.PathSpan
+	for si, im := range impacts {
+		// (a) span decode fidelity on both results.
+		for _, res := range []*routing.Result{im.Baseline(), im.Attacked()} {
+			arena.Reset()
+			spans = res.PathsInto(arena, monIdx, spans[:0])
+			for k, m := range monitors {
+				if got, want := arena.Path(spans[k]), res.PathOf(m); !got.Equal(want) {
+					t.Fatalf("scenario %d (%v): monitor %v span %v, PathOf %v",
+						si, im.Scenario, m, got, want)
+				}
+			}
+		}
+		// (b) verdict equality, alarms and Fig. 14 metric included.
+		got := EvaluateScratch(im, monitors, g, sc)
+		want := legacyEvaluate(im, monitors, g)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scenario %d (%v):\nspan   %+v\nlegacy %+v", si, im.Scenario, got, want)
+		}
+	}
+	t.Logf("differential over %d scenarios", len(impacts))
+}
+
+// TestDetectChangeDifferential feeds the same route changes through the
+// public path-slice API and the frozen reference.
+func TestDetectChangeDifferential(t *testing.T) {
+	g := diffTestGraph(t, 500, 11)
+	monitors := g.TopByDegree(30)
+	impacts := diffScenarios(t, g, 2)
+	for si, im := range impacts {
+		witnesses := make([]MonitorRoute, 0, len(monitors))
+		for _, m := range monitors {
+			if p := im.Attacked().PathOf(m); p != nil {
+				witnesses = append(witnesses, MonitorRoute{Monitor: m, Path: p})
+			}
+		}
+		for _, m := range monitors {
+			prev, cur := im.Baseline().PathOf(m), im.Attacked().PathOf(m)
+			got := DetectChange(m, prev, cur, witnesses, g)
+			want := legacyDetectChange(m, prev, cur, witnesses, g)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("scenario %d monitor %v:\nnew    %+v\nlegacy %+v", si, m, got, want)
+			}
+		}
+	}
+}
+
+// detectorUpdateStream renders a deterministic update stream from a set
+// of impacts: per impact one prefix; baseline announcements first, then
+// under-attack announcements (withdraw where the route vanished), with a
+// few duplicate and withdraw/re-announce events mixed in.
+func detectorUpdateStream(g *topology.Graph, impacts []*core.Impact, monitors []bgp.ASN, rng *rand.Rand) []bgp.Update {
+	var updates []bgp.Update
+	for pi, im := range impacts {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(pi >> 8), byte(pi), 0}), 24)
+		for _, m := range monitors {
+			if p := im.Baseline().PathOf(m); p != nil {
+				updates = append(updates, bgp.Update{Monitor: m, Type: bgp.Announce, Prefix: prefix, Path: p})
+			}
+		}
+		for _, m := range monitors {
+			before, after := im.Baseline().PathOf(m), im.Attacked().PathOf(m)
+			switch {
+			case after != nil:
+				updates = append(updates, bgp.Update{Monitor: m, Type: bgp.Announce, Prefix: prefix, Path: after})
+			case before != nil:
+				updates = append(updates, bgp.Update{Monitor: m, Type: bgp.Withdraw, Prefix: prefix})
+			}
+			// Occasionally flap: withdraw and re-announce the attack
+			// route, exercising slot reuse and first-sight suppression.
+			if after != nil && rng.Intn(4) == 0 {
+				updates = append(updates, bgp.Update{Monitor: m, Type: bgp.Withdraw, Prefix: prefix})
+				updates = append(updates, bgp.Update{Monitor: m, Type: bgp.Announce, Prefix: prefix, Path: after})
+			}
+		}
+	}
+	return updates
+}
+
+// TestDetectorDifferential replays identical update streams through the
+// arena-backed Detector and the frozen legacy detector, asserting every
+// Observe returns identical alarms and every RouteOf agrees afterwards.
+func TestDetectorDifferential(t *testing.T) {
+	g := diffTestGraph(t, 500, 17)
+	monitors := g.TopByDegree(40)
+	impacts := diffScenarios(t, g, 2)
+	if len(impacts) < 50 {
+		t.Fatalf("only %d impacts for the stream", len(impacts))
+	}
+	rng := rand.New(rand.NewSource(7))
+	updates := detectorUpdateStream(g, impacts, monitors, rng)
+
+	d := NewDetector(monitors, g)
+	ld := newLegacyDetector(monitors, g)
+	for ui, u := range updates {
+		got := d.Observe(u)
+		want := ld.observe(u)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("update %d (%v %v %v):\nnew    %+v\nlegacy %+v",
+				ui, u.Monitor, u.Type, u.Prefix, got, want)
+		}
+	}
+	// Final route tables agree for every (prefix, monitor).
+	seen := make(map[netip.Prefix]bool)
+	for _, u := range updates {
+		seen[u.Prefix] = true
+	}
+	for prefix := range seen {
+		for _, m := range monitors {
+			if got, want := d.RouteOf(prefix, m), ld.routeOf(prefix, m); !got.Equal(want) {
+				t.Fatalf("RouteOf(%v, %v): new %v, legacy %v", prefix, m, got, want)
+			}
+		}
+	}
+	t.Logf("replayed %d updates over %d prefixes", len(updates), len(seen))
+}
+
+var alarmSink []Alarm
+
+// TestDetectorObserveZeroAlloc pins warmed Observe at zero allocations:
+// equal-body re-announcements with fluctuating prepend counts (trigger
+// and non-trigger legs both covered, no alarms raised) must reuse the
+// arena slot, the interned segment and the witness scratch.
+func TestDetectorObserveZeroAlloc(t *testing.T) {
+	prefix := netip.MustParsePrefix("10.0.0.0/24")
+	// Monitor 100 watches origin 7; monitor 200 holds a route for a
+	// different origin, so the trigger leg walks the witness loop without
+	// alarming (origin mismatch).
+	d := NewDetector([]bgp.ASN{100, 200}, nil)
+	pathA3 := bgp.Path{1, 2, 7, 7, 7}
+	pathA2 := bgp.Path{1, 2, 7, 7}
+	pathB := bgp.Path{3, 4, 8}
+	d.Observe(bgp.Update{Monitor: 200, Type: bgp.Announce, Prefix: prefix, Path: pathB})
+	d.Observe(bgp.Update{Monitor: 100, Type: bgp.Announce, Prefix: prefix, Path: pathA3})
+	d.Observe(bgp.Update{Monitor: 100, Type: bgp.Announce, Prefix: prefix, Path: pathA2}) // warm the trigger leg
+	d.Observe(bgp.Update{Monitor: 100, Type: bgp.Announce, Prefix: prefix, Path: pathA3})
+
+	up3 := bgp.Update{Monitor: 100, Type: bgp.Announce, Prefix: prefix, Path: pathA3}
+	up2 := bgp.Update{Monitor: 100, Type: bgp.Announce, Prefix: prefix, Path: pathA2}
+	if avg := testing.AllocsPerRun(50, func() {
+		alarmSink = d.Observe(up2) // λ 3→2: trigger, witness skipped on origin
+		alarmSink = d.Observe(up3) // λ 2→3: no trigger
+	}); avg != 0 {
+		t.Errorf("warmed Observe allocates %.1f objects per run, want 0", avg)
+	}
+	if len(alarmSink) != 0 {
+		t.Fatalf("unexpected alarms: %v", alarmSink)
+	}
+}
+
+// BenchmarkDetectorObserve streams a realistic mixed update load through
+// the detector (the collector-pipeline shape): many prefixes, repeated
+// re-announcements, occasional withdraws.
+func BenchmarkDetectorObserve(b *testing.B) {
+	g := diffTestGraph(b, 500, 17)
+	monitors := g.TopByDegree(40)
+	rng := rand.New(rand.NewSource(3))
+	var impacts []*core.Impact
+	asns := g.ASNs()
+	for len(impacts) < 20 {
+		v := asns[rng.Intn(len(asns))]
+		m := asns[rng.Intn(len(asns))]
+		if v == m {
+			continue
+		}
+		im, err := core.Simulate(g, core.Scenario{Victim: v, Attacker: m, Prepend: 3, ViolateValleyFree: true})
+		if routing.Skippable(err) {
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		impacts = append(impacts, im)
+	}
+	updates := detectorUpdateStream(g, impacts, monitors, rng)
+	if len(updates) == 0 {
+		b.Fatal("empty update stream")
+	}
+
+	d := NewDetector(monitors, g)
+	for _, u := range updates { // warm tables and intern every segment
+		d.Observe(u)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := updates[i%len(updates)]
+		alarmSink = d.Observe(u)
+	}
+}

@@ -137,7 +137,9 @@ func CompareAttackTypesCtx(ctx context.Context, g *topology.Graph, cfg CompareCo
 
 	out := make([]AttackComparison, 0, 3)
 
-	// ASPP interception.
+	// ASPP interception. The prepend-consistency evaluation reuses one
+	// arena-backed scratch across instances (the loop is serial).
+	sc := detect.NewEvalScratch()
 	asppCmp := AttackComparison{Type: core.AttackASPP, Instances: len(impacts)}
 	for _, im := range impacts {
 		asppCmp.MeanPollution += im.After()
@@ -148,7 +150,7 @@ func CompareAttackTypesCtx(ctx context.Context, g *topology.Graph, cfg CompareCo
 		if len(detect.DetectFakeLinks(g, routes)) > 0 {
 			asppCmp.DetectedByFakeLink++
 		}
-		if detect.Evaluate(im, monitors, g).Detected {
+		if detect.EvaluateScratch(im, monitors, g, sc).Detected {
 			asppCmp.DetectedByASPP++
 		}
 	}

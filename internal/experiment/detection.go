@@ -205,9 +205,10 @@ func RunDetectionCtx(ctx context.Context, g *topology.Graph, cfg DetectionConfig
 		if err != nil {
 			return nil, err
 		}
-		evals, cerr := parallel.MapCtx(ctx, len(usable), cfg.Workers, func(i int) detect.EvalResult {
-			return detect.Evaluate(usable[i], monitors, rels)
-		})
+		evals, cerr := parallel.MapScratchErr(ctx, len(usable), cfg.Workers, detect.NewEvalScratch,
+			func(sc *detect.EvalScratch, i int) (detect.EvalResult, error) {
+				return detect.EvaluateScratch(usable[i], monitors, rels, sc), nil
+			})
 		if cerr != nil {
 			return nil, fmt.Errorf("experiment: detection evaluation cancelled: %w", cerr)
 		}
@@ -244,9 +245,10 @@ func RunDetectionCtx(ctx context.Context, g *topology.Graph, cfg DetectionConfig
 		if err != nil {
 			return nil, err
 		}
-		evals, cerr := parallel.MapCtx(ctx, len(usable), cfg.Workers, func(i int) detect.EvalResult {
-			return detect.Evaluate(usable[i], monitors, rels)
-		})
+		evals, cerr := parallel.MapScratchErr(ctx, len(usable), cfg.Workers, detect.NewEvalScratch,
+			func(sc *detect.EvalScratch, i int) (detect.EvalResult, error) {
+				return detect.EvaluateScratch(usable[i], monitors, rels, sc), nil
+			})
 		if cerr != nil {
 			return nil, fmt.Errorf("experiment: latency evaluation cancelled: %w", cerr)
 		}

@@ -149,45 +149,50 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 
 	// Steady-state tables: one propagation per origin (all its prefixes
 	// share the announcement); weight per-prefix afterwards. Without
-	// memoization, propagate once per prefix (ablation only).
-	type originTables struct {
-		prep    []int16 // origin-prepend runs seen at each monitor (len(monitors)); -1 unreachable
-		maxPrep []int16 // max run in the path (prepending by origin only here)
-		nPfx    int
-	}
-	perOrigin, perr := parallel.MapErr(context.Background(), len(origins), cfg.Workers, func(i int) (originTables, error) {
-		oc := origins[i]
-		runs := 1
-		if !cfg.Memoize {
-			runs = len(oc.Prefixes)
-		}
-		var ot originTables
-		ot.nPfx = len(oc.Prefixes)
-		for r := 0; r < runs; r++ {
-			rt, err := routing.Propagate(g, oc.Announcement)
-			if err != nil {
-				// Origins are validated at assignment, so this indicates a
-				// propagation bug; fail the survey instead of panicking the
-				// worker pool.
-				return ot, fmt.Errorf("measure: propagate %v: %w", oc.AS, err)
+	// memoization, propagate once per prefix (ablation only). Each worker
+	// owns a routing.Scratch reused across its origins, so the fan-out
+	// does not clone a fresh Result per propagation, and the per-origin
+	// prepend observations land in one flat matrix: prepMat[i*nMon+mi]
+	// is the origin-prepend run monitor mi sees for origin i (-1 when the
+	// monitor has no route or is the origin itself). The prepend run a
+	// monitor receives is also the path's maximum run here — only origins
+	// prepend in this survey — so the table distribution reads the same
+	// cell.
+	nMon := len(monIdx)
+	prepMat := make([]int16, len(origins)*nMon)
+	perr := parallel.ForEachScratchErr(context.Background(), len(origins), cfg.Workers,
+		routing.NewScratch,
+		func(s *routing.Scratch, i int) error {
+			oc := origins[i]
+			runs := 1
+			if !cfg.Memoize {
+				runs = len(oc.Prefixes)
 			}
-			cfg.Counters.AddBasePropagations(1)
-			if r > 0 {
-				continue // identical result; the extra runs are the ablation cost
+			row := prepMat[i*nMon : (i+1)*nMon]
+			for j := range row {
+				row[j] = -1
 			}
-			ot.prep = make([]int16, len(monIdx))
-			ot.maxPrep = make([]int16, len(monIdx))
-			for mi, idx := range monIdx {
-				if !rt.ReachableIdx(idx) || idx == rt.OriginIdx() {
-					ot.prep[mi] = -1
-					continue
+			for r := 0; r < runs; r++ {
+				rt, err := routing.PropagateScratch(g, oc.Announcement, s)
+				if err != nil {
+					// Origins are validated at assignment, so this indicates a
+					// propagation bug; fail the survey instead of panicking the
+					// worker pool.
+					return fmt.Errorf("measure: propagate %v: %w", oc.AS, err)
 				}
-				ot.prep[mi] = rt.Prep[idx]
-				ot.maxPrep[mi] = rt.Prep[idx]
+				cfg.Counters.AddBasePropagations(1)
+				if r > 0 {
+					continue // identical result; the extra runs are the ablation cost
+				}
+				for mi, idx := range monIdx {
+					if !rt.ReachableIdx(idx) || idx == rt.OriginIdx() {
+						continue
+					}
+					row[mi] = rt.Prep[idx]
+				}
 			}
-		}
-		return ot, nil
-	})
+			return nil
+		})
 	if perr != nil {
 		return nil, perr
 	}
@@ -195,15 +200,16 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 	// Aggregate table stats per monitor.
 	total := make([]int, len(monitors))
 	prepended := make([]int, len(monitors))
-	for _, ot := range perOrigin {
+	for i, oc := range origins {
+		row := prepMat[i*nMon : (i+1)*nMon]
 		for mi := range monIdx {
-			if ot.prep == nil || ot.prep[mi] < 0 {
+			if row[mi] < 0 {
 				continue
 			}
-			total[mi] += ot.nPfx
-			if ot.prep[mi] >= 2 {
-				prepended[mi] += ot.nPfx
-				res.TablePrependDist.AddN(int(ot.maxPrep[mi]), ot.nPfx)
+			total[mi] += len(oc.Prefixes)
+			if row[mi] >= 2 {
+				prepended[mi] += len(oc.Prefixes)
+				res.TablePrependDist.AddN(int(row[mi]), len(oc.Prefixes))
 			}
 		}
 	}
@@ -239,50 +245,49 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 		dist             *stats.Histogram
 		updates          int
 	}
-	perEvent, perr := parallel.MapErr(context.Background(), len(events), cfg.Workers, func(i int) (updStats, error) {
-		ev := events[i]
-		oc := byAS[ev.Origin]
-		weight := len(oc.Prefixes)
-		us := updStats{
-			total:     make([]int, len(monIdx)),
-			prepended: make([]int, len(monIdx)),
-			dist:      stats.NewHistogram(),
-		}
-		failedAnn := oc.Announcement
-		failedAnn.Withhold = map[bgp.ASN]bool{ev.Primary: true}
-		failed, err := routing.Propagate(g, failedAnn)
-		if err != nil {
-			return us, fmt.Errorf("measure: churn propagate %v: %w", oc.AS, err)
-		}
-		cfg.Counters.AddBasePropagations(1)
-		steady := perOrigin[originPos[ev.Origin]]
-		for mi, idx := range monIdx {
-			before := int16(-1)
-			if steady.prep != nil {
-				before = steady.prep[mi]
+	perEvent, perr := parallel.MapScratchErr(context.Background(), len(events), cfg.Workers,
+		routing.NewScratch,
+		func(s *routing.Scratch, i int) (updStats, error) {
+			ev := events[i]
+			oc := byAS[ev.Origin]
+			weight := len(oc.Prefixes)
+			us := updStats{
+				total:     make([]int, len(monIdx)),
+				prepended: make([]int, len(monIdx)),
+				dist:      stats.NewHistogram(),
 			}
-			after := int16(-1)
-			if failed.ReachableIdx(idx) && idx != failed.OriginIdx() {
-				after = failed.Prep[idx]
+			failedAnn := oc.Announcement
+			failedAnn.Withhold = map[bgp.ASN]bool{ev.Primary: true}
+			failed, err := routing.PropagateScratch(g, failedAnn, s)
+			if err != nil {
+				return us, fmt.Errorf("measure: churn propagate %v: %w", oc.AS, err)
 			}
-			if before == after {
-				continue // no visible change at this monitor
-			}
-			// Failure announcement (or withdraw) plus restore announcement.
-			for _, p := range []int16{after, before} {
-				if p < 0 {
-					continue // withdrawal: no path to classify
+			cfg.Counters.AddBasePropagations(1)
+			steady := prepMat[originPos[ev.Origin]*nMon : (originPos[ev.Origin]+1)*nMon]
+			for mi, idx := range monIdx {
+				before := steady[mi]
+				after := int16(-1)
+				if failed.ReachableIdx(idx) && idx != failed.OriginIdx() {
+					after = failed.Prep[idx]
 				}
-				us.updates += weight
-				us.total[mi] += weight
-				if p >= 2 {
-					us.prepended[mi] += weight
-					us.dist.AddN(int(p), weight)
+				if before == after {
+					continue // no visible change at this monitor
+				}
+				// Failure announcement (or withdraw) plus restore announcement.
+				for _, p := range []int16{after, before} {
+					if p < 0 {
+						continue // withdrawal: no path to classify
+					}
+					us.updates += weight
+					us.total[mi] += weight
+					if p >= 2 {
+						us.prepended[mi] += weight
+						us.dist.AddN(int(p), weight)
+					}
 				}
 			}
-		}
-		return us, nil
-	})
+			return us, nil
+		})
 	if perr != nil {
 		return nil, perr
 	}

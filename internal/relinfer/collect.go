@@ -19,18 +19,38 @@ func CollectPaths(g *topology.Graph, origins, monitors []bgp.ASN, workers int) (
 	if len(origins) == 0 || len(monitors) == 0 {
 		return nil, errors.New("relinfer: need origins and monitors")
 	}
-	perOrigin, perr := parallel.MapErr(context.Background(), len(origins), workers, func(i int) ([]bgp.Path, error) {
-		res, err := routing.Propagate(g, routing.Announcement{Origin: origins[i], Prepend: 1})
+	// Monitor indices are shared read-only; unknown monitors resolve to
+	// -1 and yield the empty span (the legacy PathOf-returns-nil case).
+	monIdx := make([]int32, len(monitors))
+	for i, m := range monitors {
+		idx, ok := g.Index(m)
+		if !ok {
+			idx = -1
+		}
+		monIdx[i] = idx
+	}
+	// Per-worker state: a propagation scratch plus a path arena reused
+	// across the worker's origins. Only the exported paths themselves are
+	// materialized (one allocation each, in collector-export shape).
+	type collectState struct {
+		s     *routing.Scratch
+		arena *routing.PathArena
+		spans []routing.PathSpan
+	}
+	newState := func() *collectState {
+		return &collectState{s: routing.NewScratch(), arena: routing.NewPathArena()}
+	}
+	perOrigin, perr := parallel.MapScratchErr(context.Background(), len(origins), workers, newState, func(st *collectState, i int) ([]bgp.Path, error) {
+		res, err := routing.PropagateScratch(g, routing.Announcement{Origin: origins[i], Prepend: 1}, st.s)
 		if err != nil {
 			return nil, fmt.Errorf("relinfer: propagate %v: %w", origins[i], err)
 		}
+		st.arena.Reset()
+		st.spans = res.PathsInto(st.arena, monIdx, st.spans[:0])
 		var out []bgp.Path
-		for _, m := range monitors {
-			if m == origins[i] {
-				continue
-			}
-			if p := res.PathOf(m); p != nil {
-				out = append(out, p.Prepend(m, 1))
+		for k, m := range monitors {
+			if sp := st.spans[k]; sp.Prep > 0 {
+				out = append(out, st.arena.PathWith(m, sp))
 			}
 		}
 		return out, nil

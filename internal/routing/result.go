@@ -138,6 +138,40 @@ func (r *Result) PathOfIdx(i int32) bgp.Path {
 	return path
 }
 
+// PathsInto extracts the received paths of the given monitors (dense
+// graph indices; -1 for a monitor outside the graph) into the arena in
+// one pass, appending one PathSpan per monitor to spans and returning it.
+// Monitors without a route — unknown, unreachable, or the origin itself —
+// get the empty span (Prep == 0), mirroring PathOfIdx's nil. Bodies land
+// in a.buf and transit segments are interned, so two spans share their
+// unique transit chain iff their Seg ids match. Spans alias the arena and
+// die on its next Reset. Warmed steady state (every segment already
+// interned, capacities grown) runs allocation-free.
+func (r *Result) PathsInto(a *PathArena, monitors []int32, spans []PathSpan) []PathSpan {
+	originASN := r.g.ASNAt(r.origin)
+	for _, i := range monitors {
+		if i < 0 || i == r.origin || r.Class[i] == ClassNone {
+			spans = append(spans, PathSpan{Seg: -1})
+			continue
+		}
+		off := int32(len(a.buf))
+		for j := r.Parent[i]; j != r.origin; j = r.Parent[j] {
+			a.buf = append(a.buf, r.g.ASNAt(j))
+		}
+		body := a.buf[off:]
+		// The parent-chain walk yields each AS once, so the body IS the
+		// unique transit chain — intern it directly, no collapsing pass.
+		spans = append(spans, PathSpan{
+			Off:    off,
+			Len:    int32(len(body)),
+			Prep:   r.Prep[i],
+			Origin: originASN,
+			Seg:    a.Intern(body),
+		})
+	}
+	return spans
+}
+
 // HopsToOrigin returns the number of distinct-AS hops from asn to the
 // origin (its path's unique length), or -1 if unreachable.
 func (r *Result) HopsToOrigin(asn bgp.ASN) int {

@@ -2,21 +2,34 @@
 // into the repo's benchmark-JSON record (see EXPERIMENTS.md for the
 // schema): a flat object mapping benchmark name to its ns/op, B/op and
 // allocs/op. `make bench-json` pipes the tier-1 benchmark suite through it
-// to produce BENCH_pr4.json, the committed baseline that future PRs (and
+// to produce the committed BENCH_prN.json baseline that future PRs (and
 // benchstat runs) compare against.
 //
 // The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so the record
 // is stable across machines; non-benchmark lines are ignored.
+//
+// Diff mode compares two committed records:
+//
+//	benchjson -diff [-filter regexp] old.json new.json
+//
+// printing per-benchmark time and allocation ratios (old/new, so >1 means
+// the new record is better) and a geometric-mean speedup over the
+// benchmarks the optional filter selects.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // metrics is one benchmark's record. B/op and allocs/op are -1 when the
@@ -29,10 +42,122 @@ type metrics struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	diff := flag.Bool("diff", false, "compare two benchmark-JSON records instead of reading go test output")
+	filter := flag.String("filter", "", "with -diff: only compare benchmarks whose name matches this regexp")
+	flag.Parse()
+
+	var err error
+	if *diff {
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("usage: benchjson -diff [-filter regexp] old.json new.json")
+		} else {
+			err = runDiff(flag.Arg(0), flag.Arg(1), *filter, os.Stdout)
+		}
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func loadRecord(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec map[string]metrics
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// ratio renders old/new as a "1.23x" factor; new == 0 with old > 0 is a
+// clean "inf" (e.g. an allocation count driven to zero).
+func ratio(old, new float64) string {
+	switch {
+	case old == new: // covers 0/0
+		return "1.00x"
+	case new == 0:
+		return "inf"
+	default:
+		return fmt.Sprintf("%.2fx", old/new)
+	}
+}
+
+// runDiff prints a per-benchmark comparison of two records plus the
+// geometric-mean time speedup over the compared set.
+func runDiff(oldPath, newPath, filter string, out io.Writer) error {
+	oldRec, err := loadRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := loadRecord(newPath)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if filter != "" {
+		if re, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+
+	names := make([]string, 0, len(oldRec))
+	onlyOld, onlyNew := 0, 0
+	for n := range oldRec {
+		if re != nil && !re.MatchString(n) {
+			continue
+		}
+		if _, ok := newRec[n]; ok {
+			names = append(names, n)
+		} else {
+			onlyOld++
+		}
+	}
+	for n := range newRec {
+		if re != nil && !re.MatchString(n) {
+			continue
+		}
+		if _, ok := oldRec[n]; !ok {
+			onlyNew++
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s (filter %q)", oldPath, newPath, filter)
+	}
+	sort.Strings(names)
+
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tspeedup\told allocs\tnew allocs\talloc ratio")
+	logSum, logN := 0.0, 0
+	for _, n := range names {
+		o, nw := oldRec[n], newRec[n]
+		allocOld, allocNew, allocRatio := "-", "-", "-"
+		if o.AllocsPerOp >= 0 && nw.AllocsPerOp >= 0 {
+			allocOld = strconv.FormatInt(o.AllocsPerOp, 10)
+			allocNew = strconv.FormatInt(nw.AllocsPerOp, 10)
+			allocRatio = ratio(float64(o.AllocsPerOp), float64(nw.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s\n",
+			n, o.NsPerOp, nw.NsPerOp, ratio(o.NsPerOp, nw.NsPerOp), allocOld, allocNew, allocRatio)
+		if o.NsPerOp > 0 && nw.NsPerOp > 0 {
+			logSum += math.Log(o.NsPerOp / nw.NsPerOp)
+			logN++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if logN > 0 {
+		fmt.Fprintf(out, "geomean speedup: %.2fx over %d benchmarks\n", math.Exp(logSum/float64(logN)), logN)
+	}
+	if onlyOld+onlyNew > 0 {
+		fmt.Fprintf(out, "not compared: %d only in %s, %d only in %s\n", onlyOld, oldPath, onlyNew, newPath)
+	}
+	return nil
 }
 
 func run(in *os.File, out *os.File) error {

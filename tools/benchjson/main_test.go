@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	cases := []struct {
@@ -45,5 +50,62 @@ func TestParseLine(t *testing.T) {
 		if name != c.name || m != c.m {
 			t.Errorf("parseLine(%q) = %q %+v, want %q %+v", c.line, name, m, c.name, c.m)
 		}
+	}
+}
+
+func writeRecord(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiff(t *testing.T) {
+	oldPath := writeRecord(t, "old.json", `{
+  "Fig13Detection": {"ns_per_op": 4000, "b_per_op": 800, "allocs_per_op": 100},
+  "Fig9Sweep": {"ns_per_op": 1000, "b_per_op": -1, "allocs_per_op": -1},
+  "Gone": {"ns_per_op": 5, "b_per_op": -1, "allocs_per_op": -1}
+}`)
+	newPath := writeRecord(t, "new.json", `{
+  "Fig13Detection": {"ns_per_op": 1000, "b_per_op": 0, "allocs_per_op": 0},
+  "Fig9Sweep": {"ns_per_op": 1000, "b_per_op": -1, "allocs_per_op": -1},
+  "Added": {"ns_per_op": 7, "b_per_op": -1, "allocs_per_op": -1}
+}`)
+
+	var b strings.Builder
+	if err := runDiff(oldPath, newPath, "", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Fig13Detection", "4.00x", // time ratio 4000/1000
+		"inf",                // 100 allocs -> 0 allocs
+		"Fig9Sweep", "1.00x", // unchanged
+		"geomean speedup: 2.00x over 2", // sqrt(4 * 1)
+		"not compared: 1 only in", "1 only in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The filter narrows both the table and the geomean set.
+	b.Reset()
+	if err := runDiff(oldPath, newPath, "Fig13", &b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if strings.Contains(out, "Fig9Sweep") {
+		t.Errorf("filtered diff still mentions Fig9Sweep:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean speedup: 4.00x over 1") {
+		t.Errorf("filtered geomean wrong:\n%s", out)
+	}
+
+	// Disjoint records are an error, not an empty table.
+	if err := runDiff(oldPath, newPath, "NoSuchBenchmark", &b); err == nil {
+		t.Error("expected error for empty comparison set")
 	}
 }
