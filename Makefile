@@ -41,12 +41,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/experiment/
+	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/experiment/ ./internal/measure/
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzDetect -fuzztime=10s ./internal/detect/
 	$(GO) test -run='^$$' -fuzz=FuzzSerial2 -fuzztime=10s ./internal/topology/
+	$(GO) test -run='^$$' -fuzz=FuzzPropagateBatch -fuzztime=10s ./internal/routing/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -60,15 +61,17 @@ bench-smoke:
 
 # Machine-readable record of the tier-1 benchmark suite: run the root
 # package benchmarks with -benchmem and parse the output into
-# BENCH_pr5.json (benchmark name -> ns/op, B/op, allocs/op; schema in
+# BENCH_pr6.json (benchmark name -> ns/op, B/op, allocs/op; schema in
 # EXPERIMENTS.md). The committed file is the baseline future PRs diff
 # against, via `benchjson -diff` or benchstat (see README).
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
-	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr5.json
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr6.json
 	@rm -f .bench.out.tmp
-	@echo wrote BENCH_pr5.json
+	@echo wrote BENCH_pr6.json
 
-# Per-benchmark before/after table plus geomean for the PR 5 record.
+# Per-benchmark before/after table plus geomean for the PR 6 record
+# (BenchmarkBatchVsSerial is new in PR 6, so it appears only on the
+# "after" side; the shared rows gate against regressions).
 bench-diff:
-	$(GO) run ./tools/benchjson -diff BENCH_pr4.json BENCH_pr5.json
+	$(GO) run ./tools/benchjson -diff BENCH_pr5.json BENCH_pr6.json

@@ -54,6 +54,7 @@ type benchContext struct {
 	seed     int64
 	pairs    int
 	engine   aspp.EngineKind
+	batch    int
 	out      io.Writer
 	// counters is non-nil when -counters is set: one fresh Counters per
 	// experiment, reported after the experiment's data (outside the TSV
@@ -94,6 +95,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		topo     = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
 		outDir   = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
 		engine   = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
+		batch    = fs.Int("batch", 0, "lane width K for batched baseline propagation (0 or 1: serial)")
 		counters = fs.Bool("counters", false, "report per-experiment sweep telemetry (propagations, cache hits, skipped draws)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
@@ -179,8 +181,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		var tee bytes.Buffer
 		bc := &benchContext{
 			ctx: ctx, internet: internet, seed: *seed, pairs: *pairs,
-			engine: engineKind,
-			out:    io.MultiWriter(out, &tee),
+			engine: engineKind, batch: *batch,
+			out: io.MultiWriter(out, &tee),
 		}
 		if *counters {
 			bc.counters = new(aspp.Counters)
@@ -296,6 +298,7 @@ func runSusceptibility(bc *benchContext) error {
 	cfg.Seed = bc.seed
 	cfg.Engine = bc.engine
 	cfg.Counters = bc.counters
+	cfg.Batch = bc.batch
 	cells, err := experiment.SusceptibilityMatrixCtx(bc.ctx, bc.internet.Graph(), cfg)
 	if err != nil {
 		return err
@@ -354,7 +357,7 @@ func runTable1(bc *benchContext) error {
 }
 
 func (bc *benchContext) survey() (*aspp.SurveyResult, error) {
-	return bc.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: bc.seed, Counters: bc.counters})
+	return bc.internet.UsageSurvey(aspp.PolicyConfig{}, aspp.SurveyConfig{Seed: bc.seed, Counters: bc.counters, Batch: bc.batch})
 }
 
 func runFig5(bc *benchContext) error {
@@ -429,7 +432,7 @@ func tailAbove(h *stats.Histogram, k int) float64 {
 func runPairFig(bc *benchContext, kind experiment.PairKind, n int, violate bool, label string) error {
 	pairsResult, err := bc.internet.SamplePairsCtx(bc.ctx, aspp.PairConfig{
 		Kind: kind, N: n, Prepend: 3, Violate: violate, Seed: bc.seed,
-		Engine: bc.engine, Counters: bc.counters,
+		Engine: bc.engine, Counters: bc.counters, Batch: bc.batch,
 	})
 	if err != nil {
 		return err
@@ -461,7 +464,7 @@ func runFig8(bc *benchContext) error {
 func (bc *benchContext) sweep(victim, attacker aspp.ASN, violate bool) ([]aspp.SweepPoint, error) {
 	return bc.internet.SweepPrependCfgCtx(bc.ctx, aspp.SweepConfig{
 		Victim: victim, Attacker: attacker, MaxLambda: 8, Violate: violate,
-		Engine: bc.engine, Counters: bc.counters,
+		Engine: bc.engine, Counters: bc.counters, Batch: bc.batch,
 	})
 }
 

@@ -58,6 +58,11 @@ type PairConfig struct {
 	// engine, cache hits, skipped draws). One Counters per sweep; nil
 	// disables recording.
 	Counters *obs.Counters
+	// Batch > 1 warms each chunk's baselines through the lane-batched
+	// engine (BaselineCache.WarmBatch) in groups of Batch before the
+	// workers fan out; attack legs still run per-instance on the delta
+	// engine. 0 or 1 keeps baselines fully lazy/serial.
+	Batch int
 }
 
 // SamplePairs simulates cfg.N interception instances with independently
@@ -137,11 +142,33 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 	}
 
 	cache := NewBaselineCacheObs(g, cfg.Counters)
+	var (
+		warmBS   *routing.BatchScratch
+		warmKeys []BaselineKey
+	)
+	if cfg.Batch > 1 {
+		warmBS = routing.NewBatchScratch()
+	}
 	out := make([]PairImpact, 0, cfg.N)
 	for len(out) < cfg.N {
 		chunk := nextChunk(cfg.N)
 		if len(chunk) == 0 {
 			break // retry budget or pair space exhausted
+		}
+		if cfg.Batch > 1 {
+			// Warm the chunk's baselines in lane groups. WarmBatch skips
+			// keys already cached, so repeated victims across chunks cost
+			// nothing and duplicates within a group collapse.
+			warmKeys = warmKeys[:0]
+			for _, p := range chunk {
+				warmKeys = append(warmKeys, BaselineKey{Origin: p.v, Lambda: cfg.Prepend})
+			}
+			for start := 0; start < len(warmKeys); start += cfg.Batch {
+				end := min(start+cfg.Batch, len(warmKeys))
+				if err := cache.WarmBatch(warmKeys[start:end], warmBS); err != nil {
+					return nil, err
+				}
+			}
 		}
 		results, cerr := parallel.MapScratchErr(ctx, len(chunk), cfg.Workers, routing.NewScratch,
 			func(s *routing.Scratch, i int) (*PairImpact, error) {
@@ -244,6 +271,10 @@ type SweepConfig struct {
 	Engine           core.EngineKind
 	// Counters optionally collects sweep telemetry; nil disables recording.
 	Counters *obs.Counters
+	// Batch > 1 precomputes the victim's λ = 1..MaxLambda baselines as
+	// lanes of batched propagations (groups of Batch) before the λ steps
+	// fan out. 0 or 1 keeps baselines lazy/serial.
+	Batch int
 }
 
 // SweepPrependCfgCtx simulates one victim/attacker pair for
@@ -258,6 +289,19 @@ func SweepPrependCfgCtx(ctx context.Context, g *topology.Graph, cfg SweepConfig)
 		return nil, errors.New("experiment: maxLambda must be >= 1")
 	}
 	cache := NewBaselineCacheObs(g, cfg.Counters)
+	if cfg.Batch > 1 {
+		keys := make([]BaselineKey, cfg.MaxLambda)
+		for i := range keys {
+			keys[i] = BaselineKey{Origin: cfg.Victim, Lambda: i + 1}
+		}
+		bs := routing.NewBatchScratch()
+		for start := 0; start < len(keys); start += cfg.Batch {
+			end := min(start+cfg.Batch, len(keys))
+			if err := cache.WarmBatch(keys[start:end], bs); err != nil {
+				return nil, err
+			}
+		}
+	}
 	points, cerr := parallel.MapScratchErr(ctx, cfg.MaxLambda, cfg.Workers, routing.NewScratch,
 		func(s *routing.Scratch, i int) (SweepPoint, error) {
 			base, err := cache.Get(cfg.Victim, i+1)

@@ -40,6 +40,10 @@ type SusceptibilityConfig struct {
 	Engine core.EngineKind
 	// Counters optionally collects sweep telemetry; nil disables recording.
 	Counters *obs.Counters
+	// Batch > 1 warms the distinct victims' baselines through the
+	// lane-batched engine in groups of Batch before the pair jobs fan out.
+	// 0 or 1 keeps baselines lazy/serial.
+	Batch int
 }
 
 // DefaultSusceptibilityConfig returns the calibrated setup. The matrix
@@ -112,6 +116,21 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 		}
 	}
 	cache := NewBaselineCacheObs(g, cfg.Counters)
+	if cfg.Batch > 1 {
+		// Victims repeat heavily across cells; WarmBatch skips keys
+		// already cached, so no dedup pass is needed here.
+		keys := make([]BaselineKey, len(jobs))
+		for i, j := range jobs {
+			keys[i] = BaselineKey{Origin: j.v, Lambda: cfg.Prepend}
+		}
+		bs := routing.NewBatchScratch()
+		for start := 0; start < len(keys); start += cfg.Batch {
+			end := min(start+cfg.Batch, len(keys))
+			if err := cache.WarmBatch(keys[start:end], bs); err != nil {
+				return nil, err
+			}
+		}
+	}
 	fractions, cerr := parallel.MapScratchErr(ctx, len(jobs), cfg.Workers, routing.NewScratch,
 		func(s *routing.Scratch, i int) (float64, error) {
 			base, err := cache.Get(jobs[i].v, cfg.Prepend)

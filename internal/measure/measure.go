@@ -39,6 +39,13 @@ type SurveyConfig struct {
 	// Counters optionally collects survey telemetry (propagations, churn
 	// updates emitted); nil disables recording.
 	Counters *obs.Counters
+	// Batch > 1 computes the steady-state table leg as lane-batched
+	// propagations (groups of Batch origins per routing.PropagateBatch
+	// call). Requires Memoize — the non-memoized ablation repeats runs per
+	// prefix and stays serial. The churn leg is serial either way: each
+	// event's withheld-session announcement is unique. 0 or 1 keeps the
+	// table leg serial.
+	Batch int
 }
 
 // DefaultSurveyConfig returns the standard survey setup.
@@ -160,39 +167,71 @@ func RunSurvey(g *topology.Graph, origins []collector.OriginConfig, cfg SurveyCo
 	// cell.
 	nMon := len(monIdx)
 	prepMat := make([]int16, len(origins)*nMon)
-	perr := parallel.ForEachScratchErr(context.Background(), len(origins), cfg.Workers,
-		routing.NewScratch,
-		func(s *routing.Scratch, i int) error {
-			oc := origins[i]
-			runs := 1
-			if !cfg.Memoize {
-				runs = len(oc.Prefixes)
+	fillRow := func(i int, rt *routing.Result) {
+		row := prepMat[i*nMon : (i+1)*nMon]
+		for j := range row {
+			row[j] = -1
+		}
+		for mi, idx := range monIdx {
+			if !rt.ReachableIdx(idx) || idx == rt.OriginIdx() {
+				continue
 			}
-			row := prepMat[i*nMon : (i+1)*nMon]
-			for j := range row {
-				row[j] = -1
-			}
-			for r := 0; r < runs; r++ {
-				rt, err := routing.PropagateScratch(g, oc.Announcement, s)
+			row[mi] = rt.Prep[idx]
+		}
+	}
+	var perr error
+	if cfg.Memoize && cfg.Batch > 1 {
+		// Batched table leg: each worker owns a BatchScratch and carries
+		// Batch origins per shared frontier walk. Lanes are bitwise-equal
+		// to the serial engine, so the matrix — and every downstream
+		// figure — is identical to the serial leg's.
+		anns := make([]routing.Announcement, len(origins))
+		for i, oc := range origins {
+			anns[i] = oc.Announcement
+		}
+		groups := (len(origins) + cfg.Batch - 1) / cfg.Batch
+		perr = parallel.ForEachScratchErr(context.Background(), groups, cfg.Workers,
+			routing.NewBatchScratch,
+			func(bs *routing.BatchScratch, gi int) error {
+				lo := gi * cfg.Batch
+				hi := min(lo+cfg.Batch, len(origins))
+				br, err := routing.PropagateBatch(g, anns[lo:hi], bs)
 				if err != nil {
-					// Origins are validated at assignment, so this indicates a
-					// propagation bug; fail the survey instead of panicking the
-					// worker pool.
-					return fmt.Errorf("measure: propagate %v: %w", oc.AS, err)
+					return fmt.Errorf("measure: batch propagate origins [%d:%d): %w", lo, hi, err)
 				}
-				cfg.Counters.AddBasePropagations(1)
-				if r > 0 {
-					continue // identical result; the extra runs are the ablation cost
+				cfg.Counters.AddBatchPropagations(int64(hi - lo))
+				cfg.Counters.AddBatchCalls(1)
+				for l, rt := range br.Lanes {
+					fillRow(lo+l, rt)
 				}
-				for mi, idx := range monIdx {
-					if !rt.ReachableIdx(idx) || idx == rt.OriginIdx() {
-						continue
+				return nil
+			})
+	} else {
+		perr = parallel.ForEachScratchErr(context.Background(), len(origins), cfg.Workers,
+			routing.NewScratch,
+			func(s *routing.Scratch, i int) error {
+				oc := origins[i]
+				runs := 1
+				if !cfg.Memoize {
+					runs = len(oc.Prefixes)
+				}
+				for r := 0; r < runs; r++ {
+					rt, err := routing.PropagateScratch(g, oc.Announcement, s)
+					if err != nil {
+						// Origins are validated at assignment, so this indicates a
+						// propagation bug; fail the survey instead of panicking the
+						// worker pool.
+						return fmt.Errorf("measure: propagate %v: %w", oc.AS, err)
 					}
-					row[mi] = rt.Prep[idx]
+					cfg.Counters.AddBasePropagations(1)
+					if r > 0 {
+						continue // identical result; the extra runs are the ablation cost
+					}
+					fillRow(i, rt)
 				}
-			}
-			return nil
-		})
+				return nil
+			})
+	}
 	if perr != nil {
 		return nil, perr
 	}

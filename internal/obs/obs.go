@@ -43,6 +43,8 @@ type Counters struct {
 	skippedUnreachable lineCounter
 	skippedIneffective lineCounter
 	churnUpdates       lineCounter
+	batchPropagations  lineCounter
+	batchCalls         lineCounter
 }
 
 // AddBasePropagations records n no-attack (baseline) propagations.
@@ -104,6 +106,23 @@ func (c *Counters) AddChurnUpdates(n int64) {
 	}
 }
 
+// AddBatchPropagations records n baseline propagations computed as lanes
+// of a batched PropagateBatch call (these lanes are NOT also counted as
+// prop_base: a baseline leg runs batched or serially, never both).
+func (c *Counters) AddBatchPropagations(n int64) {
+	if c != nil {
+		c.batchPropagations.Add(n)
+	}
+}
+
+// AddBatchCalls records n PropagateBatch invocations; together with
+// prop_batch it gives the realized mean lane width of a sweep.
+func (c *Counters) AddBatchCalls(n int64) {
+	if c != nil {
+		c.batchCalls.Add(n)
+	}
+}
+
 // Merge adds o's counts into c (both sides nil-safe). Merging per-sweep
 // counters is deterministic: addition commutes, so any merge order yields
 // the same totals.
@@ -120,6 +139,8 @@ func (c *Counters) Merge(o *Counters) {
 	c.skippedUnreachable.Add(s.SkippedUnreachable)
 	c.skippedIneffective.Add(s.SkippedIneffective)
 	c.churnUpdates.Add(s.ChurnUpdates)
+	c.batchPropagations.Add(s.BatchPropagations)
+	c.batchCalls.Add(s.BatchCalls)
 }
 
 // Snapshot is a point-in-time copy of a Counters, safe to compare and
@@ -133,6 +154,8 @@ type Snapshot struct {
 	SkippedUnreachable int64
 	SkippedIneffective int64
 	ChurnUpdates       int64
+	BatchPropagations  int64
+	BatchCalls         int64
 }
 
 // Snapshot reads all counters. A nil receiver yields the zero Snapshot.
@@ -149,6 +172,8 @@ func (c *Counters) Snapshot() Snapshot {
 		SkippedUnreachable: c.skippedUnreachable.Load(),
 		SkippedIneffective: c.skippedIneffective.Load(),
 		ChurnUpdates:       c.churnUpdates.Load(),
+		BatchPropagations:  c.batchPropagations.Load(),
+		BatchCalls:         c.batchCalls.Load(),
 	}
 }
 
@@ -162,8 +187,9 @@ func (s Snapshot) AttackPropagations() int64 {
 // -counters output format).
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"prop_base=%d prop_full=%d prop_delta=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
+		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
 		s.BasePropagations, s.FullPropagations, s.DeltaPropagations,
+		s.BatchPropagations, s.BatchCalls,
 		s.BaselineHits, s.BaselineMisses,
 		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates)
 }

@@ -19,6 +19,8 @@ func TestNilCountersAreNoOps(t *testing.T) {
 	c.AddSkippedUnreachable(1)
 	c.AddSkippedIneffective(1)
 	c.AddChurnUpdates(1)
+	c.AddBatchPropagations(1)
+	c.AddBatchCalls(1)
 	c.Merge(&Counters{})
 	(&Counters{}).Merge(c)
 	if got := c.Snapshot(); got != (Snapshot{}) {
@@ -39,6 +41,8 @@ func TestSnapshotAndMerge(t *testing.T) {
 	b.AddSkippedUnreachable(13)
 	b.AddSkippedIneffective(17)
 	b.AddChurnUpdates(19)
+	b.AddBatchPropagations(23)
+	b.AddBatchCalls(29)
 	a.Merge(&b)
 	got := a.Snapshot()
 	want := Snapshot{
@@ -50,6 +54,8 @@ func TestSnapshotAndMerge(t *testing.T) {
 		SkippedUnreachable: 13,
 		SkippedIneffective: 17,
 		ChurnUpdates:       19,
+		BatchPropagations:  23,
+		BatchCalls:         29,
 	}
 	if got != want {
 		t.Fatalf("Snapshot()=%+v, want %+v", got, want)

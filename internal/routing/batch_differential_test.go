@@ -1,0 +1,104 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// randomBatchAnn draws one no-attack announcement for the batch suites:
+// any-tier origin, λ ∈ 1..8, occasionally per-neighbor prepending or a
+// withheld provider session (the non-uniform phase-3 paths).
+func randomBatchAnn(rng *rand.Rand, g *topology.Graph) Announcement {
+	asns := g.ASNs()
+	ann := Announcement{Origin: asns[rng.Intn(len(asns))], Prepend: 1 + rng.Intn(8)}
+	if rng.Intn(3) == 0 {
+		pn := make(map[bgp.ASN]int)
+		for _, nbr := range g.Providers(ann.Origin) {
+			if rng.Intn(2) == 0 {
+				pn[nbr] = 1 + rng.Intn(8)
+			}
+		}
+		if len(pn) > 0 {
+			ann.PerNeighbor = pn
+		}
+	}
+	if rng.Intn(4) == 0 {
+		provs := g.Providers(ann.Origin)
+		if len(provs) > 1 {
+			ann.Withhold = map[bgp.ASN]bool{provs[rng.Intn(len(provs))]: true}
+		}
+	}
+	return ann
+}
+
+// TestPropagateBatchDifferential is the batched-vs-serial gate: every lane
+// of every batch must be bitwise-equal to the serial PropagateScratch
+// result for the same announcement. It sweeps mixed-tier origins, λ ∈
+// 1..8, per-neighbor/withhold announcements, lane widths K ∈
+// {1,2,3,8,17,64}, a ragged 70-lane batch (one full 64-lane chunk plus a
+// 6-lane tail), and duplicated (origin, λ) lanes — all on ONE reused
+// BatchScratch, so epoch reuse across widths and chunk counts is exercised
+// too. Well over 500 lane scenarios in total.
+func TestPropagateBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	bs := NewBatchScratch()
+	serial := NewScratch()
+	widths := []int{1, 2, 3, 8, 17, 64}
+	const poolSize = 70 // widest run: ragged two-chunk batch
+	scenarios := 0
+	for trial := 0; trial < 4; trial++ {
+		cfg := topology.DefaultGenConfig(80 + rng.Intn(120))
+		cfg.Tier1 = 3 + rng.Intn(4)
+		cfg.Seed = rng.Int63()
+		g, err := topology.Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Generate: %v", trial, err)
+		}
+		pool := make([]Announcement, 0, poolSize)
+		for len(pool) < poolSize {
+			if len(pool) > 0 && len(pool)%9 == 0 {
+				// Duplicate an earlier lane verbatim: identical (origin, λ)
+				// entries in one batch must yield identical results.
+				pool = append(pool, pool[rng.Intn(len(pool))])
+				continue
+			}
+			pool = append(pool, randomBatchAnn(rng, g))
+		}
+		runs := make([][]Announcement, 0, len(widths)+1)
+		for _, k := range widths {
+			start := rng.Intn(poolSize - k + 1)
+			runs = append(runs, pool[start:start+k])
+		}
+		runs = append(runs, pool)
+		for _, anns := range runs {
+			br, err := PropagateBatch(g, anns, bs)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: PropagateBatch: %v", trial, len(anns), err)
+			}
+			if len(br.Lanes) != len(anns) {
+				t.Fatalf("trial %d: %d lanes for %d announcements", trial, len(br.Lanes), len(anns))
+			}
+			for l, lane := range br.Lanes {
+				want, err := PropagateScratch(g, anns[l], serial)
+				if err != nil {
+					t.Fatalf("trial %d K=%d lane %d: serial: %v", trial, len(anns), l, err)
+				}
+				label := fmt.Sprintf("trial %d K=%d lane %d origin %v λ=%d",
+					trial, len(anns), l, anns[l].Origin, anns[l].Prepend)
+				compareResults(t, g, lane, want, label)
+				scenarios++
+				if t.Failed() {
+					t.Fatalf("%s: batched propagation diverged from serial", label)
+				}
+			}
+		}
+	}
+	if scenarios < 500 {
+		t.Fatalf("only %d differential scenarios ran, want >= 500", scenarios)
+	}
+	t.Logf("%d batched-vs-serial lane scenarios", scenarios)
+}

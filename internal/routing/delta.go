@@ -383,10 +383,11 @@ func deltaResultInto(r *Result, baseline *Result, via []bool) *Result {
 	r.g = baseline.g
 	r.origin = baseline.origin
 	if cap(r.Class) < n {
-		r.Class = make([]Class, n)
-		r.Len = make([]int32, n)
-		r.Prep = make([]int16, n)
-		r.Parent = make([]int32, n)
+		c := growCap(n, cap(r.Class))
+		r.Class = make([]Class, c)
+		r.Len = make([]int32, c)
+		r.Prep = make([]int16, c)
+		r.Parent = make([]int32, c)
 	}
 	r.Class = r.Class[:n]
 	r.Len = r.Len[:n]

@@ -57,10 +57,11 @@ func resultInto(r *Result, g *topology.Graph, origin int32) *Result {
 	r.g = g
 	r.origin = origin
 	if cap(r.Class) < n {
-		r.Class = make([]Class, n)
-		r.Len = make([]int32, n)
-		r.Prep = make([]int16, n)
-		r.Parent = make([]int32, n)
+		c := growCap(n, cap(r.Class))
+		r.Class = make([]Class, c)
+		r.Len = make([]int32, c)
+		r.Prep = make([]int16, c)
+		r.Parent = make([]int32, c)
 	}
 	r.Class = r.Class[:n]
 	r.Len = r.Len[:n]

@@ -126,10 +126,24 @@ func NewScratch() *Scratch { return &Scratch{} }
 // per call.
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 
+// growCap is the shared geometric growth policy: a table asked to cover
+// need entries grows to max(need, 2×cur). Exact-fit growth made a sweep
+// that alternates topology sizes (n=1000 → 4000 → 2000 → 4000) reallocate
+// on every upward step; doubling bounds the reallocations at O(log max-n)
+// for any size sequence (pinned by TestScratchGrowthGeometric) — the
+// ROADMAP's 80k-AS prerequisite.
+func growCap(need, cur int) int {
+	if c := 2 * cur; c > need {
+		return c
+	}
+	return need
+}
+
 // grow ensures the core tables — the ones every propagation touches —
-// cover n ASes. Fresh records carry zero gen stamps, which are stale by
-// construction: the epoch is always >= 1 once any propagation has started.
-// The list slices get capacity n so replaying them can never allocate.
+// cover n ASes, with geometric over-allocation (see growCap). Fresh
+// records carry zero gen stamps, which are stale by construction: the
+// epoch is always >= 1 once any propagation has started. The list slices
+// get matching capacity so replaying them can never allocate.
 //
 // The remaining tables are grouped by the call path that needs them and
 // allocated lazily by the ensure* methods below, so e.g. a baseline-only
@@ -138,6 +152,7 @@ func (s *Scratch) grow(n int) {
 	if n <= s.n {
 		return
 	}
+	n = growCap(n, s.n)
 	s.recs = make([]nodeRec, n)
 	s.reject = make([]bool, n)
 	s.rejectList = make([]int32, 0, n)
@@ -150,13 +165,14 @@ func (s *Scratch) grow(n int) {
 // ensureVia sizes the attack slot's Via storage.
 func (s *Scratch) ensureVia(n int) {
 	if len(s.via) < n {
-		s.via = make([]bool, n)
+		s.via = make([]bool, growCap(n, len(s.via)))
 	}
 }
 
 // ensureViaBufs sizes the ViaSetInto walk buffers.
 func (s *Scratch) ensureViaBufs(n int) {
 	if len(s.viaBase) < n {
+		n = growCap(n, len(s.viaBase))
 		s.viaBase = make([]bool, n)
 		s.viaState = make([]uint8, n)
 	}
@@ -170,6 +186,7 @@ func (s *Scratch) ensureViaBufs(n int) {
 // list has nothing left to undo.
 func (s *Scratch) ensureDelta(n int) {
 	if len(s.dflags) < n {
+		n = growCap(n, len(s.dflags))
 		s.dflags = make([]uint8, n)
 		s.touched = make([]int32, 0, n)
 		s.deltaVia = make([]bool, n)
