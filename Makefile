@@ -2,12 +2,15 @@ GO ?= go
 
 .PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff lint-panics lint-paths
 
-# Tier-1 matrix: everything CI gates on.
+# Tier-1 matrix: everything CI gates on. The conservation differential
+# re-runs explicitly so a counter-attribution regression names itself in
+# the CI log instead of hiding inside the package sweep.
 check: lint-panics lint-paths
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/ ./internal/routing/
+	$(GO) test -run=TestBatchedSweepPropagationConservation -count=1 ./internal/experiment/
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
 	$(MAKE) bench-smoke
 
@@ -41,13 +44,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/experiment/ ./internal/measure/
+	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/core/ ./internal/experiment/ ./internal/measure/
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzDetect -fuzztime=10s ./internal/detect/
 	$(GO) test -run='^$$' -fuzz=FuzzSerial2 -fuzztime=10s ./internal/topology/
-	$(GO) test -run='^$$' -fuzz=FuzzPropagateBatch -fuzztime=10s ./internal/routing/
+	$(GO) test -run='^$$' -fuzz='^FuzzPropagateBatch$$' -fuzztime=10s ./internal/routing/
+	$(GO) test -run='^$$' -fuzz=FuzzPropagateAttackDeltaBatch -fuzztime=10s ./internal/routing/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -61,17 +65,17 @@ bench-smoke:
 
 # Machine-readable record of the tier-1 benchmark suite: run the root
 # package benchmarks with -benchmem and parse the output into
-# BENCH_pr6.json (benchmark name -> ns/op, B/op, allocs/op; schema in
+# BENCH_pr8.json (benchmark name -> ns/op, B/op, allocs/op; schema in
 # EXPERIMENTS.md). The committed file is the baseline future PRs diff
 # against, via `benchjson -diff` or benchstat (see README).
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
-	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr6.json
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr8.json
 	@rm -f .bench.out.tmp
-	@echo wrote BENCH_pr6.json
+	@echo wrote BENCH_pr8.json
 
-# Per-benchmark before/after table plus geomean for the PR 6 record
-# (BenchmarkBatchVsSerial is new in PR 6, so it appears only on the
+# Per-benchmark before/after table plus geomean for the PR 8 record
+# (BenchmarkBatchDeltaVsSerial is new in PR 8, so it appears only on the
 # "after" side; the shared rows gate against regressions).
 bench-diff:
-	$(GO) run ./tools/benchjson -diff BENCH_pr5.json BENCH_pr6.json
+	$(GO) run ./tools/benchjson -diff BENCH_pr6.json BENCH_pr8.json

@@ -23,12 +23,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"aspp"
 	"aspp/internal/defense"
 	"aspp/internal/experiment"
+	"aspp/internal/routing"
 	"aspp/internal/stats"
 )
 
@@ -85,6 +87,24 @@ var registry = map[string]experimentFunc{
 	"susceptibility": runSusceptibility, // §VI-B tier matrix
 }
 
+// resolveBatch parses the -batch flag once the topology size is known:
+// "auto" sizes the lane width so the batched engines' per-lane state
+// stays cache-resident for this topology, otherwise the value must be an
+// integer lane width in 1..routing.MaxLanes (1 keeps the sweeps serial).
+func resolveBatch(v string, numASes int) (int, error) {
+	if v == "auto" {
+		return routing.AdaptiveLaneWidth(numASes), nil
+	}
+	k, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("-batch: want a lane width or 'auto', got %q", v)
+	}
+	if k < 1 || k > routing.MaxLanes {
+		return 0, fmt.Errorf("-batch %d: lane width must be in 1..%d (or 'auto')", k, routing.MaxLanes)
+	}
+	return k, nil
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asppbench", flag.ContinueOnError)
 	var (
@@ -95,7 +115,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		topo     = fs.String("topo", "", "optional serial-2 relationship file instead of generating")
 		outDir   = fs.String("out", "", "also write each experiment's output to <dir>/<name>.tsv")
 		engine   = fs.String("engine", "delta", "attack-propagation engine for the sweeps: full or delta")
-		batch    = fs.Int("batch", 0, "lane width K for batched baseline propagation (0 or 1: serial)")
+		batch    = fs.String("batch", "1", "lane width K (1..64) for batched baseline and attack propagation, or 'auto' to size lanes to the topology; 1: serial")
 		counters = fs.Bool("counters", false, "report per-experiment sweep telemetry (propagations, cache hits, skipped draws)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
@@ -151,6 +171,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	laneWidth, err := resolveBatch(*batch, internet.Graph().NumASes())
+	if err != nil {
+		return err
+	}
 
 	var names []string
 	if *exps == "all" {
@@ -181,7 +205,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		var tee bytes.Buffer
 		bc := &benchContext{
 			ctx: ctx, internet: internet, seed: *seed, pairs: *pairs,
-			engine: engineKind, batch: *batch,
+			engine: engineKind, batch: laneWidth,
 			out: io.MultiWriter(out, &tee),
 		}
 		if *counters {
@@ -564,12 +588,12 @@ func runFig12(bc *benchContext) error {
 	if err != nil {
 		return err
 	}
-	victim, err := experiment.PickStub(g, bc.seed+101)
+	victim, err := experiment.PickStub(g, stats.DeriveSeed(bc.seed, "fig12.victim"))
 	if err != nil {
 		return err
 	}
 	if victim == attacker {
-		victim, err = experiment.PickStub(g, bc.seed+202)
+		victim, err = experiment.PickStub(g, stats.DeriveSeed(bc.seed, "fig12.victim.retry"))
 		if err != nil {
 			return err
 		}

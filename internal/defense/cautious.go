@@ -9,6 +9,7 @@ import (
 	"aspp/internal/bgp"
 	"aspp/internal/core"
 	"aspp/internal/routing"
+	"aspp/internal/stats"
 	"aspp/internal/topology"
 )
 
@@ -134,7 +135,7 @@ func deploymentOrder(g *topology.Graph, policy DeployPolicy, seed int64) []bgp.A
 		return g.TopByDegree(g.NumASes())
 	default:
 		asns := g.ASNs()
-		rng := rand.New(rand.NewSource(seed + 909))
+		rng := rand.New(rand.NewSource(stats.DeriveSeed(seed, "defense.deploy.random")))
 		rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
 		return asns
 	}

@@ -23,6 +23,7 @@ import (
 	"aspp/internal/core"
 	"aspp/internal/parallel"
 	"aspp/internal/routing"
+	"aspp/internal/stats"
 	"aspp/internal/topology"
 )
 
@@ -196,7 +197,7 @@ func SelectMonitors(g *topology.Graph, cfg Config, strategy Strategy) ([]bgp.ASN
 		return g.TopByDegree(cfg.Budget), nil
 	case StrategyRandom:
 		asns := g.ASNs()
-		rng := rand.New(rand.NewSource(cfg.Seed + 101))
+		rng := rand.New(rand.NewSource(stats.DeriveSeed(cfg.Seed, "defense.monitors.random")))
 		rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
 		if cfg.Budget < len(asns) {
 			asns = asns[:cfg.Budget]
@@ -205,7 +206,7 @@ func SelectMonitors(g *topology.Graph, cfg Config, strategy Strategy) ([]bgp.ASN
 	case StrategyVictimCone:
 		return victimCone(g, cfg.Victim, cfg.Budget)
 	case StrategyGreedy:
-		rng := rand.New(rand.NewSource(cfg.Seed + 202))
+		rng := rand.New(rand.NewSource(stats.DeriveSeed(cfg.Seed, "defense.greedy.training")))
 		training, err := drawAttacks(g, cfg, cfg.TrainingAttacks, rng)
 		if err != nil {
 			return nil, err
@@ -315,7 +316,7 @@ func Compare(g *topology.Graph, cfg Config) ([]Outcome, error) {
 	if cfg.Prepend < 2 {
 		return nil, errors.New("defense: prepend must be >= 2")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 303))
+	rng := rand.New(rand.NewSource(stats.DeriveSeed(cfg.Seed, "defense.compare.eval")))
 	eval, err := drawAttacks(g, cfg, cfg.EvalAttacks, rng)
 	if err != nil {
 		return nil, err

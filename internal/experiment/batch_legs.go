@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"context"
+	"sort"
+
+	"aspp/internal/core"
+	"aspp/internal/obs"
+	"aspp/internal/parallel"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// useBatchLegs reports whether a sweep configured with the given batch
+// width and engine runs its attack legs on the batched delta engine.
+// EngineFull is the serial full-recompute ablation, so it opts out, and
+// sibling-bearing topologies need the message-level Reference engine.
+func useBatchLegs(g *topology.Graph, batch int, engine core.EngineKind) bool {
+	return batch > 1 && engine != core.EngineFull && !g.HasSiblings()
+}
+
+// runBatchedAttackLegs simulates the scenarios as lanes of batched
+// delta propagations, k lanes per call: scenarios are stably grouped by
+// (victim, λ) so lanes sharing a memoized baseline ride one
+// copy-on-write walk, groups fan out across workers (one
+// DeltaBatchRunner per worker), and counts[i] matches scs[i]. The
+// caller must have resolved every baseline (bases[i] non-nil, fatal
+// failures already handled) and pre-filtered unreachable attackers —
+// the skip accounting stays with the driver, exactly as on the serial
+// path.
+func runBatchedAttackLegs(ctx context.Context, g *topology.Graph, scs []core.Scenario, bases []*routing.Result, k, workers int, c *obs.Counters) ([]core.Counts, error) {
+	if len(scs) == 0 {
+		return nil, nil
+	}
+	order := make([]int, len(scs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := scs[order[a]], scs[order[b]]
+		if sa.Victim != sb.Victim {
+			return sa.Victim < sb.Victim
+		}
+		return sa.Prepend < sb.Prepend
+	})
+	sscs := make([]core.Scenario, len(scs))
+	sbases := make([]*routing.Result, len(scs))
+	for i, idx := range order {
+		sscs[i] = scs[idx]
+		sbases[i] = bases[idx]
+	}
+	souts := make([]core.Counts, len(scs))
+	groups := (len(scs) + k - 1) / k
+	err := parallel.ForEachScratchErr(ctx, groups, workers, core.NewDeltaBatchRunner,
+		func(r *core.DeltaBatchRunner, gi int) error {
+			lo := gi * k
+			hi := min(lo+k, len(scs))
+			return r.Simulate(g, sscs[lo:hi], sbases[lo:hi], souts[lo:hi], c)
+		})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]core.Counts, len(scs))
+	for i, idx := range order {
+		counts[idx] = souts[i]
+	}
+	return counts, nil
+}

@@ -12,6 +12,7 @@ import (
 	"aspp/internal/obs"
 	"aspp/internal/parallel"
 	"aspp/internal/routing"
+	"aspp/internal/stats"
 	"aspp/internal/topology"
 )
 
@@ -268,7 +269,7 @@ func pickMonitors(g *topology.Graph, d int, policy MonitorPolicy, seed int64) ([
 		return g.TopByDegree(d), nil
 	case MonitorsRandom:
 		asns := g.ASNs()
-		rng := rand.New(rand.NewSource(seed + int64(d)*7919))
+		rng := rand.New(rand.NewSource(stats.DeriveSeedIndexed(seed, "detection.monitors.random", d)))
 		rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
 		if d > len(asns) {
 			d = len(asns)

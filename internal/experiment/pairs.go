@@ -60,8 +60,12 @@ type PairConfig struct {
 	Counters *obs.Counters
 	// Batch > 1 warms each chunk's baselines through the lane-batched
 	// engine (BaselineCache.WarmBatch) in groups of Batch before the
-	// workers fan out; attack legs still run per-instance on the delta
-	// engine. 0 or 1 keeps baselines fully lazy/serial.
+	// workers fan out, and runs the attack legs Batch lanes at a time on
+	// the batched delta engine (core.DeltaBatchRunner) — draws grouped
+	// by their shared (victim, λ) baseline, output byte-identical to the
+	// serial path. EngineFull keeps the attack legs serial (the
+	// ablation), as do sibling topologies. 0 or 1 keeps everything
+	// lazy/serial.
 	Batch int
 }
 
@@ -170,39 +174,87 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 				}
 			}
 		}
-		results, cerr := parallel.MapScratchErr(ctx, len(chunk), cfg.Workers, routing.NewScratch,
-			func(s *routing.Scratch, i int) (*PairImpact, error) {
-				p := chunk[i]
+		var results []*PairImpact
+		if useBatchLegs(g, cfg.Batch, cfg.Engine) {
+			// Batched attack legs: resolve the chunk's (warmed) baselines
+			// and pre-filter unreachable attackers here — the same draws
+			// the serial path skips, counted identically — then run the
+			// usable draws as lane groups sharing their victims' baselines.
+			results = make([]*PairImpact, len(chunk))
+			scs := make([]core.Scenario, 0, len(chunk))
+			bases := make([]*routing.Result, 0, len(chunk))
+			idxs := make([]int, 0, len(chunk))
+			for ci, p := range chunk {
 				base, err := cache.Get(p.v, cfg.Prepend)
 				if err != nil {
 					// Fatal: the failure is per-victim and memoized — it
 					// would repeat for every pair sharing this victim.
 					return nil, baselineError(p.v, cfg.Prepend, err)
 				}
-				c, err := core.SimulateCountsEngineObs(g, core.Scenario{
+				if !base.Reachable(p.m) {
+					cfg.Counters.AddSkippedUnreachable(1)
+					continue // skippable draw; redrawn from the stream
+				}
+				scs = append(scs, core.Scenario{
 					Victim:            p.v,
 					Attacker:          p.m,
 					Prepend:           cfg.Prepend,
 					ViolateValleyFree: cfg.Violate,
-				}, base, s, cfg.Engine, cfg.Counters)
-				if routing.Skippable(err) {
-					cfg.Counters.AddSkippedUnreachable(1)
-					return nil, nil // skippable draw; redrawn from the stream
-				}
-				if err != nil {
-					return nil, fmt.Errorf("pair %v/%v: %w", p.v, p.m, err)
-				}
-				return &PairImpact{
+				})
+				bases = append(bases, base)
+				idxs = append(idxs, ci)
+			}
+			counts, err := runBatchedAttackLegs(ctx, g, scs, bases, cfg.Batch, cfg.Workers, cfg.Counters)
+			if err != nil {
+				return nil, sweepError("pair sweep", err)
+			}
+			for j, ci := range idxs {
+				p := chunk[ci]
+				results[ci] = &PairImpact{
 					Victim:     p.v,
 					Attacker:   p.m,
 					VictimTier: g.Tier(p.v),
 					AttackTier: g.Tier(p.m),
-					Before:     c.Before(),
-					After:      c.After(),
-				}, nil
-			})
-		if cerr != nil {
-			return nil, sweepError("pair sweep", cerr)
+					Before:     counts[j].Before(),
+					After:      counts[j].After(),
+				}
+			}
+		} else {
+			var cerr error
+			results, cerr = parallel.MapScratchErr(ctx, len(chunk), cfg.Workers, routing.NewScratch,
+				func(s *routing.Scratch, i int) (*PairImpact, error) {
+					p := chunk[i]
+					base, err := cache.Get(p.v, cfg.Prepend)
+					if err != nil {
+						// Fatal: the failure is per-victim and memoized — it
+						// would repeat for every pair sharing this victim.
+						return nil, baselineError(p.v, cfg.Prepend, err)
+					}
+					c, err := core.SimulateCountsEngineObs(g, core.Scenario{
+						Victim:            p.v,
+						Attacker:          p.m,
+						Prepend:           cfg.Prepend,
+						ViolateValleyFree: cfg.Violate,
+					}, base, s, cfg.Engine, cfg.Counters)
+					if routing.Skippable(err) {
+						cfg.Counters.AddSkippedUnreachable(1)
+						return nil, nil // skippable draw; redrawn from the stream
+					}
+					if err != nil {
+						return nil, fmt.Errorf("pair %v/%v: %w", p.v, p.m, err)
+					}
+					return &PairImpact{
+						Victim:     p.v,
+						Attacker:   p.m,
+						VictimTier: g.Tier(p.v),
+						AttackTier: g.Tier(p.m),
+						Before:     c.Before(),
+						After:      c.After(),
+					}, nil
+				})
+			if cerr != nil {
+				return nil, sweepError("pair sweep", cerr)
+			}
 		}
 		for _, r := range results {
 			if r == nil {
@@ -273,7 +325,11 @@ type SweepConfig struct {
 	Counters *obs.Counters
 	// Batch > 1 precomputes the victim's λ = 1..MaxLambda baselines as
 	// lanes of batched propagations (groups of Batch) before the λ steps
-	// fan out. 0 or 1 keeps baselines lazy/serial.
+	// fan out, and runs the λ steps' attack legs Batch lanes at a time
+	// on the batched delta engine — each lane reading its own λ's
+	// baseline, output identical to the serial path. EngineFull and
+	// sibling topologies keep the attack legs serial. 0 or 1 keeps
+	// everything lazy/serial.
 	Batch int
 }
 
@@ -301,6 +357,39 @@ func SweepPrependCfgCtx(ctx context.Context, g *topology.Graph, cfg SweepConfig)
 				return nil, err
 			}
 		}
+	}
+	if useBatchLegs(g, cfg.Batch, cfg.Engine) {
+		// Resolve baselines and check attacker reachability in ascending
+		// λ order, preserving the all-fatal lowest-λ-first error contract
+		// before the lanes fan out.
+		scs := make([]core.Scenario, cfg.MaxLambda)
+		bases := make([]*routing.Result, cfg.MaxLambda)
+		for i := 0; i < cfg.MaxLambda; i++ {
+			base, err := cache.Get(cfg.Victim, i+1)
+			if err != nil {
+				return nil, baselineError(cfg.Victim, i+1, err)
+			}
+			if !base.Reachable(cfg.Attacker) {
+				return nil, sweepError(fmt.Sprintf("sweep %v/%v", cfg.Victim, cfg.Attacker),
+					fmt.Errorf("λ=%d: %w", i+1, core.ErrAttackerSeesNoRoute))
+			}
+			scs[i] = core.Scenario{
+				Victim:            cfg.Victim,
+				Attacker:          cfg.Attacker,
+				Prepend:           i + 1,
+				ViolateValleyFree: cfg.Violate,
+			}
+			bases[i] = base
+		}
+		counts, err := runBatchedAttackLegs(ctx, g, scs, bases, cfg.Batch, cfg.Workers, cfg.Counters)
+		if err != nil {
+			return nil, sweepError(fmt.Sprintf("sweep %v/%v", cfg.Victim, cfg.Attacker), err)
+		}
+		points := make([]SweepPoint, cfg.MaxLambda)
+		for i, c := range counts {
+			points[i] = SweepPoint{Lambda: i + 1, Before: c.Before(), After: c.After()}
+		}
+		return points, nil
 	}
 	points, cerr := parallel.MapScratchErr(ctx, cfg.MaxLambda, cfg.Workers, routing.NewScratch,
 		func(s *routing.Scratch, i int) (SweepPoint, error) {

@@ -45,6 +45,9 @@ type Counters struct {
 	churnUpdates       lineCounter
 	batchPropagations  lineCounter
 	batchCalls         lineCounter
+
+	deltaBatchPropagations lineCounter
+	deltaBatchCalls        lineCounter
 }
 
 // AddBasePropagations records n no-attack (baseline) propagations.
@@ -123,6 +126,27 @@ func (c *Counters) AddBatchCalls(n int64) {
 	}
 }
 
+// AddDeltaBatchPropagations records n attack propagations computed as
+// lanes of a batched PropagateAttackDeltaBatch call. Attribution is
+// exclusive: an attack leg runs serially (prop_delta / prop_full) or as
+// a batch lane (prop_delta_batch), never both — the conservation
+// differential in internal/experiment pins serial and batched sweeps of
+// the same config to identical propagation totals.
+func (c *Counters) AddDeltaBatchPropagations(n int64) {
+	if c != nil {
+		c.deltaBatchPropagations.Add(n)
+	}
+}
+
+// AddDeltaBatchCalls records n PropagateAttackDeltaBatch invocations;
+// together with prop_delta_batch it gives the realized mean attack-leg
+// lane width of a sweep.
+func (c *Counters) AddDeltaBatchCalls(n int64) {
+	if c != nil {
+		c.deltaBatchCalls.Add(n)
+	}
+}
+
 // Merge adds o's counts into c (both sides nil-safe). Merging per-sweep
 // counters is deterministic: addition commutes, so any merge order yields
 // the same totals.
@@ -141,6 +165,8 @@ func (c *Counters) Merge(o *Counters) {
 	c.churnUpdates.Add(s.ChurnUpdates)
 	c.batchPropagations.Add(s.BatchPropagations)
 	c.batchCalls.Add(s.BatchCalls)
+	c.deltaBatchPropagations.Add(s.DeltaBatchPropagations)
+	c.deltaBatchCalls.Add(s.DeltaBatchCalls)
 }
 
 // Snapshot is a point-in-time copy of a Counters, safe to compare and
@@ -156,6 +182,9 @@ type Snapshot struct {
 	ChurnUpdates       int64
 	BatchPropagations  int64
 	BatchCalls         int64
+
+	DeltaBatchPropagations int64
+	DeltaBatchCalls        int64
 }
 
 // Snapshot reads all counters. A nil receiver yields the zero Snapshot.
@@ -174,22 +203,26 @@ func (c *Counters) Snapshot() Snapshot {
 		ChurnUpdates:       c.churnUpdates.Load(),
 		BatchPropagations:  c.batchPropagations.Load(),
 		BatchCalls:         c.batchCalls.Load(),
+
+		DeltaBatchPropagations: c.deltaBatchPropagations.Load(),
+		DeltaBatchCalls:        c.deltaBatchCalls.Load(),
 	}
 }
 
 // AttackPropagations is the total attack-leg propagation count across
 // engines — the number the candidate-budget pinning tests bound.
 func (s Snapshot) AttackPropagations() int64 {
-	return s.FullPropagations + s.DeltaPropagations
+	return s.FullPropagations + s.DeltaPropagations + s.DeltaBatchPropagations
 }
 
 // String formats the snapshot as one stable key=value line (the
 // -counters output format).
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
+		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d prop_delta_batch=%d delta_batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
 		s.BasePropagations, s.FullPropagations, s.DeltaPropagations,
 		s.BatchPropagations, s.BatchCalls,
+		s.DeltaBatchPropagations, s.DeltaBatchCalls,
 		s.BaselineHits, s.BaselineMisses,
 		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates)
 }

@@ -88,6 +88,41 @@ type BatchScratch struct {
 	results []Result
 	ptrs    []*Result
 	out     BatchResult
+
+	// Batched delta-engine state (PropagateAttackDeltaBatch; see
+	// batch_delta.go). Allocated lazily by ensureDeltaBatch so a
+	// baseline-only BatchScratch never pays for it. dlanes mirrors lanes
+	// for the delta walk's per-AS dirty/touched lane masks; bdprov holds
+	// the recomputed provider entries (cust/peer payloads share the batch
+	// tables above — both engines read entries only under their own mask
+	// bits, so the payloads never collide). provSet is the phase-3 shared
+	// frontier bitset (custSet/peerSet double as the dirty customer/peer
+	// frontiers). brej holds per-AS lane rejection masks, reset by
+	// replaying brejList; btouched lists the current call's cone rows
+	// (btouchedM the per-row lane masks finish wrote, btouchedStarts the
+	// per-chunk row offsets) and the three swap with their bprev
+	// counterparts each call so the next call can repair each result slot
+	// by replaying exactly the rows its lane wrote.
+	dlanes         []dlaneRec
+	bdprov         []cand
+	provSet        []uint64
+	brej           []uint64
+	brejList       []int32
+	btouched       []int32
+	btouchedM      []uint64
+	btouchedStarts []int32
+	bprevT         []int32
+	bprevM         []uint64
+	bprevStarts    []int32
+
+	// laneVia/laneBase/laneGen are per-result-slot delta metadata: the
+	// slot's Via storage, the baseline object it mirrors outside the last
+	// cone, and the delta-batch call generation that last wrote it (the
+	// repair fast path needs slot continuity across consecutive calls).
+	laneVia  [][]bool
+	laneBase []*Result
+	laneGen  []uint64
+	callGen  uint64
 }
 
 // NewBatchScratch returns an empty BatchScratch; it sizes itself on first
@@ -160,6 +195,9 @@ func (s *BatchScratch) beginChunk() uint32 {
 	if s.epoch == 0 {
 		for i := range s.lanes {
 			s.lanes[i].gen = 0
+		}
+		for i := range s.dlanes {
+			s.dlanes[i].gen = 0
 		}
 		s.epoch = 1
 	}

@@ -1,0 +1,408 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/topology"
+)
+
+// randomAttackLanes draws count attack lanes over g, deliberately mixing
+// shared and unshared baselines: lanes are built in small groups, each
+// group announcing one (origin, λ, export-shape) and pointing several
+// distinct attackers at the SAME detached baseline Result, interleaved
+// with singleton lanes owning private baselines. Attackers are
+// pre-filtered for baseline reachability (the sweep drivers' contract),
+// export mode alternates between valley-free follow and violate, and
+// KeepPrepend varies.
+func randomAttackLanes(t testing.TB, rng *rand.Rand, g *topology.Graph, count int) []AttackLane {
+	t.Helper()
+	asns := g.ASNs()
+	lanes := make([]AttackLane, 0, count)
+	for len(lanes) < count {
+		ann := randomBatchAnn(rng, g)
+		base, err := Propagate(g, ann)
+		if err != nil {
+			t.Fatalf("baseline for origin %v: %v", ann.Origin, err)
+		}
+		group := 1
+		if rng.Intn(2) == 0 {
+			group = 2 + rng.Intn(5) // up to 6 lanes sharing this baseline
+		}
+		for gi := 0; gi < group && len(lanes) < count; gi++ {
+			var atk Attacker
+			ok := false
+			for tries := 0; tries < 100; tries++ {
+				m := asns[rng.Intn(len(asns))]
+				if m == ann.Origin || !base.Reachable(m) {
+					continue
+				}
+				atk = Attacker{
+					AS:                m,
+					KeepPrepend:       1 + rng.Intn(2),
+					ViolateValleyFree: rng.Intn(2) == 0,
+				}
+				ok = true
+				break
+			}
+			if !ok {
+				break // degenerate baseline; draw a fresh announcement
+			}
+			lanes = append(lanes, AttackLane{Ann: ann, Atk: atk, Baseline: base})
+		}
+	}
+	return lanes
+}
+
+// checkLanesAgainstSerial compares every lane of a batched delta call
+// with both serial engines (delta and full-recompute Fast) on one shared
+// Scratch, and counts the lanes it verified.
+func checkLanesAgainstSerial(t *testing.T, g *topology.Graph, lanes []AttackLane, br *BatchResult, serial *Scratch, label string) int {
+	t.Helper()
+	if len(br.Lanes) != len(lanes) {
+		t.Fatalf("%s: %d lanes for %d inputs", label, len(br.Lanes), len(lanes))
+	}
+	for l := range lanes {
+		ll := fmt.Sprintf("%s lane %d (V=%v M=%v λ=%d violate=%v)", label, l,
+			lanes[l].Ann.Origin, lanes[l].Atk.AS, lanes[l].Ann.Prepend, lanes[l].Atk.ViolateValleyFree)
+		want, err := PropagateAttackDelta(g, lanes[l].Ann, lanes[l].Atk, lanes[l].Baseline, serial)
+		if err != nil {
+			t.Fatalf("%s: serial delta: %v", ll, err)
+		}
+		compareResults(t, g, br.Lanes[l], want, ll+" batch-vs-delta")
+		full, err := PropagateAttackScratch(g, lanes[l].Ann, lanes[l].Atk, lanes[l].Baseline, serial)
+		if err != nil {
+			t.Fatalf("%s: serial fast: %v", ll, err)
+		}
+		compareResults(t, g, br.Lanes[l], full, ll+" batch-vs-fast")
+		checkInvariants(t, g, br.Lanes[l], lanes[l].Ann, &lanes[l].Atk, ll)
+		if t.Failed() {
+			t.Fatalf("%s: batched delta diverged from serial", ll)
+		}
+	}
+	return len(lanes)
+}
+
+// TestPropagateAttackDeltaBatchDifferential is the batched-delta gate:
+// every lane of every batch must be bitwise-equal to the serial delta
+// engine (and the Fast full recompute) for the same scenario. It sweeps
+// mixed-tier origins and attackers, λ ∈ 1..8, per-neighbor/withhold
+// announcements, follow and violate export, lane widths K ∈ {1,2,8,64}
+// plus a ragged 70-lane two-chunk batch, lanes sharing and not sharing a
+// baseline Result — all on ONE reused BatchScratch, so epoch reuse,
+// slot repair across consecutive calls, and chunking are exercised too.
+// Well over 600 lane scenarios in total.
+func TestPropagateAttackDeltaBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	bs := NewBatchScratch()
+	serial := NewScratch()
+	widths := []int{1, 2, 8, 64}
+	const poolSize = 70 // widest run: ragged two-chunk batch
+	scenarios := 0
+	for trial := 0; trial < 5; trial++ {
+		cfg := topology.DefaultGenConfig(80 + rng.Intn(120))
+		cfg.Tier1 = 3 + rng.Intn(4)
+		cfg.Seed = rng.Int63()
+		g, err := topology.Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Generate: %v", trial, err)
+		}
+		pool := randomAttackLanes(t, rng, g, poolSize)
+		runs := make([][]AttackLane, 0, len(widths)+1)
+		for _, k := range widths {
+			start := rng.Intn(poolSize - k + 1)
+			runs = append(runs, pool[start:start+k])
+		}
+		runs = append(runs, pool)
+		for _, lanes := range runs {
+			br, err := PropagateAttackDeltaBatch(g, lanes, bs)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: PropagateAttackDeltaBatch: %v", trial, len(lanes), err)
+			}
+			scenarios += checkLanesAgainstSerial(t, g, lanes, br, serial,
+				fmt.Sprintf("trial %d K=%d", trial, len(lanes)))
+		}
+	}
+	if scenarios < 600 {
+		t.Fatalf("only %d differential scenarios ran, want >= 600", scenarios)
+	}
+	t.Logf("%d batched-delta-vs-serial lane scenarios", scenarios)
+}
+
+// TestPropagateAttackDeltaBatchRepeat pins the O(prev cone) slot-repair
+// path: calling the engine twice with the identical lane set (and then
+// with the attackers rotated one slot, so every slot keeps its baseline
+// but changes its cone) must reproduce the serial outcome exactly.
+func TestPropagateAttackDeltaBatchRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := batchTestGraph(t, 200, 77)
+	bs := NewBatchScratch()
+	serial := NewScratch()
+	ann := Announcement{Origin: g.ASNs()[0], Prepend: 3}
+	base, err := Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 distinct reachable attackers over ONE shared baseline.
+	lanes := make([]AttackLane, 0, 16)
+	seen := map[bgp.ASN]bool{}
+	for _, m := range g.ASNs() {
+		if len(lanes) == 16 {
+			break
+		}
+		if m == ann.Origin || !base.Reachable(m) || seen[m] {
+			continue
+		}
+		seen[m] = true
+		lanes = append(lanes, AttackLane{Ann: ann, Atk: Attacker{AS: m, KeepPrepend: 1 + len(lanes)%2, ViolateValleyFree: len(lanes)%3 == 0}, Baseline: base})
+	}
+	if len(lanes) < 8 {
+		t.Fatalf("only %d reachable attackers", len(lanes))
+	}
+	for pass := 0; pass < 2; pass++ {
+		br, err := PropagateAttackDeltaBatch(g, lanes, bs)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		checkLanesAgainstSerial(t, g, lanes, br, serial, fmt.Sprintf("pass %d", pass))
+	}
+	// Rotate attackers across slots: repair must restore each slot's
+	// previous cone before the new (different) cone is written.
+	rotated := make([]AttackLane, len(lanes))
+	for i := range lanes {
+		rotated[i] = lanes[(i+1)%len(lanes)]
+	}
+	_ = rng
+	br, err := PropagateAttackDeltaBatch(g, rotated, bs)
+	if err != nil {
+		t.Fatalf("rotated: %v", err)
+	}
+	checkLanesAgainstSerial(t, g, rotated, br, serial, "rotated")
+}
+
+// TestPropagateAttackDeltaBatchLanePermutation: lanes are independent,
+// so permuting them must permute the results identically.
+func TestPropagateAttackDeltaBatchLanePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := batchTestGraph(t, 150, 13)
+	lanes := randomAttackLanes(t, rng, g, batchMaxLanes)
+	bs := NewBatchScratch()
+	br, err := PropagateAttackDeltaBatch(g, lanes, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneLanes(br)
+
+	perm := rng.Perm(len(lanes))
+	shuffled := make([]AttackLane, len(lanes))
+	for i, p := range perm {
+		shuffled[i] = lanes[p]
+	}
+	br2, err := PropagateAttackDeltaBatch(g, shuffled, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		compareResults(t, g, br2.Lanes[i], want[p], fmt.Sprintf("lane %d (orig %d)", i, p))
+		if t.Failed() {
+			t.Fatalf("lane permutation changed lane %d's outcome", i)
+		}
+	}
+}
+
+// TestPropagateAttackDeltaBatchSplitInvariance: one K=64 call must equal
+// two K=32 calls — batch width is a scheduling choice, never semantic.
+func TestPropagateAttackDeltaBatchSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := batchTestGraph(t, 180, 37)
+	lanes := randomAttackLanes(t, rng, g, batchMaxLanes)
+	bs := NewBatchScratch()
+	br, err := PropagateAttackDeltaBatch(g, lanes, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneLanes(br)
+	for _, half := range []struct{ lo, hi int }{{0, 32}, {32, 64}} {
+		hr, err := PropagateAttackDeltaBatch(g, lanes[half.lo:half.hi], bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lane := range hr.Lanes {
+			compareResults(t, g, lane, want[half.lo+i], fmt.Sprintf("half [%d:%d) lane %d", half.lo, half.hi, i))
+			if t.Failed() {
+				t.Fatalf("K=32 split diverged from the K=64 batch at lane %d", half.lo+i)
+			}
+		}
+	}
+}
+
+// TestPropagateAttackDeltaBatchValidation pins the error contract: lane-
+// indexed errors, whole-batch failure, no partial results.
+func TestPropagateAttackDeltaBatchValidation(t *testing.T) {
+	g := batchTestGraph(t, 120, 5)
+	ann := Announcement{Origin: g.ASNs()[0], Prepend: 2}
+	base, err := Propagate(g, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atk Attacker
+	for _, m := range g.ASNs() {
+		if m != ann.Origin && base.Reachable(m) {
+			atk = Attacker{AS: m, KeepPrepend: 1}
+			break
+		}
+	}
+	good := AttackLane{Ann: ann, Atk: atk, Baseline: base}
+
+	if _, err := PropagateAttackDeltaBatch(g, nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := PropagateAttackDeltaBatch(g, []AttackLane{good, {Ann: ann, Atk: atk}}, nil); err == nil || !strings.Contains(err.Error(), "lane 1") {
+		t.Errorf("nil baseline: err = %v, want lane-1 error", err)
+	}
+	otherBase, err := Propagate(g, Announcement{Origin: atk.AS, Prepend: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := good
+	wrong.Baseline = otherBase
+	if _, err := PropagateAttackDeltaBatch(g, []AttackLane{wrong}, nil); err == nil || !strings.Contains(err.Error(), "different graph or origin") {
+		t.Errorf("mismatched baseline: err = %v", err)
+	}
+	// An unreachable attacker fails the batch with a Skippable,
+	// lane-indexed error (drivers pre-filter, so this is a bug signal).
+	annW := Announcement{Origin: ann.Origin, Prepend: 1, Withhold: map[bgp.ASN]bool{}}
+	for _, p := range g.Providers(ann.Origin) {
+		annW.Withhold[p] = true
+	}
+	baseW, err := Propagate(g, annW)
+	if err == nil {
+		for _, m := range g.ASNs() {
+			if m != annW.Origin && !baseW.Reachable(m) {
+				bad := AttackLane{Ann: annW, Atk: Attacker{AS: m, KeepPrepend: 1}, Baseline: baseW}
+				if _, err := PropagateAttackDeltaBatch(g, []AttackLane{good, bad}, nil); !errors.Is(err, ErrUnreachableAttacker) || !strings.Contains(err.Error(), "lane 1") {
+					t.Errorf("unreachable attacker: err = %v, want lane-1 ErrUnreachableAttacker", err)
+				}
+				break
+			}
+		}
+	}
+	// A baseline borrowed from the same scratch's result slots is
+	// rejected (it would be overwritten mid-call).
+	bs := NewBatchScratch()
+	br, err := PropagateBatch(g, []Announcement{ann}, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	borrowed := good
+	borrowed.Baseline = br.Lanes[0]
+	if _, err := PropagateAttackDeltaBatch(g, []AttackLane{borrowed}, bs); err == nil || !strings.Contains(err.Error(), "borrowed") {
+		t.Errorf("scratch-borrowed baseline: err = %v", err)
+	}
+	// ... but the Clone of that lane is a legal baseline on the same
+	// scratch — the warm-then-attack interleave the sweeps run.
+	borrowed.Baseline = br.Lanes[0].Clone()
+	br2, err := PropagateAttackDeltaBatch(g, []AttackLane{borrowed}, bs)
+	if err != nil {
+		t.Fatalf("cloned baseline on same scratch: %v", err)
+	}
+	want, err := PropagateAttackDelta(g, ann, atk, borrowed.Baseline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, g, br2.Lanes[0], want, "interleaved warm-then-attack")
+}
+
+// TestPropagateAttackDeltaBatchZeroAlloc pins the steady-state
+// allocation contract at sweep scale: once the scratch is warmed, a
+// batched delta call allocates nothing, at K=8 and K=64 on n=4000.
+func TestPropagateAttackDeltaBatchZeroAlloc(t *testing.T) {
+	g := batchTestGraph(t, 4000, 9)
+	rng := rand.New(rand.NewSource(3))
+	// Pause the collector for the measurement: a K=64 full-graph cone
+	// walks several MB of lane tables, and a background GC cycle landing
+	// mid-run attributes its bookkeeping allocation to this goroutine.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, k := range []int{8, 64} {
+		lanes := randomAttackLanes(t, rng, g, k)
+		bs := NewBatchScratch()
+		if _, err := PropagateAttackDeltaBatch(g, lanes, bs); err != nil {
+			t.Fatalf("K=%d warmup: %v", k, err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			allocSinkBatch, allocSinkErr = PropagateAttackDeltaBatch(g, lanes, bs)
+		})
+		if allocSinkErr != nil {
+			t.Fatalf("K=%d: %v", k, allocSinkErr)
+		}
+		if allocs != 0 {
+			t.Errorf("K=%d: %.1f allocs/op on warmed batched delta, want 0", k, allocs)
+		}
+	}
+}
+
+// TestAdaptiveLaneWidth pins the -batch auto policy: saturate at
+// MaxLanes on small graphs, narrow monotonically as n grows, never
+// leave [1, MaxLanes].
+func TestAdaptiveLaneWidth(t *testing.T) {
+	if got := AdaptiveLaneWidth(4000); got != MaxLanes {
+		t.Errorf("AdaptiveLaneWidth(4000) = %d, want %d", got, MaxLanes)
+	}
+	if got := AdaptiveLaneWidth(0); got != MaxLanes {
+		t.Errorf("AdaptiveLaneWidth(0) = %d, want %d", got, MaxLanes)
+	}
+	prev := MaxLanes + 1
+	for _, n := range []int{100, 4000, 20000, 80000, 1 << 22} {
+		k := AdaptiveLaneWidth(n)
+		if k < 1 || k > MaxLanes {
+			t.Fatalf("AdaptiveLaneWidth(%d) = %d out of [1,%d]", n, k, MaxLanes)
+		}
+		if k > prev {
+			t.Fatalf("AdaptiveLaneWidth not monotone: n=%d → %d after %d", n, k, prev)
+		}
+		prev = k
+	}
+	if got := AdaptiveLaneWidth(80000); got >= MaxLanes {
+		t.Errorf("AdaptiveLaneWidth(80000) = %d, want a narrowed width", got)
+	}
+}
+
+// FuzzPropagateAttackDeltaBatch drives the batched delta engine with
+// fuzzed lane counts (crossing the 64-lane chunk boundary), topology
+// sizes and scenario mixes: it must never panic and every lane must
+// agree with the serial delta engine. Wired into `make fuzz-smoke`.
+func FuzzPropagateAttackDeltaBatch(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))   // K=1
+	f.Add(int64(42), uint8(7), uint8(3))  // K=8
+	f.Add(int64(7), uint8(63), uint8(1))  // K=64: full chunk
+	f.Add(int64(99), uint8(64), uint8(7)) // K=65: ragged second chunk
+	f.Add(int64(-3), uint8(200), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, kSel, nSel uint8) {
+		k := 1 + int(kSel)%66
+		cfg := topology.DefaultGenConfig(60 + int(nSel)%80)
+		cfg.Seed = seed
+		g, err := topology.Generate(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		lanes := randomAttackLanes(t, rng, g, k)
+		br, err := PropagateAttackDeltaBatch(g, lanes, NewBatchScratch())
+		if err != nil {
+			t.Fatalf("PropagateAttackDeltaBatch: %v", err)
+		}
+		serial := NewScratch()
+		for l := range lanes {
+			want, err := PropagateAttackDelta(g, lanes[l].Ann, lanes[l].Atk, lanes[l].Baseline, serial)
+			if err != nil {
+				t.Fatalf("lane %d: serial: %v", l, err)
+			}
+			compareResults(t, g, br.Lanes[l], want, fmt.Sprintf("lane %d", l))
+		}
+	})
+}

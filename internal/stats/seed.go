@@ -1,0 +1,47 @@
+package stats
+
+// This file centralizes derived-RNG seeding. Components used to fork
+// streams from a shared base seed with additive magic offsets
+// (seed+909, seed+101, ...), which collide as soon as two callers pass
+// adjacent base seeds: seed=1 in one component reproduces seed=910 in
+// another, silently correlating draws that are supposed to be
+// independent. DeriveSeed replaces the offsets with a splitmix64-style
+// hash of (seed, component name): adjacent seeds land in unrelated
+// streams, and two components never share a stream unless their names
+// collide.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mix64 is the splitmix64 finalizer: a cheap invertible mixer whose
+// output is well distributed even for sequential inputs.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed derives the RNG seed for one named component's stream from
+// a base seed: FNV-1a over the component name, folded into the seed and
+// finalized with splitmix64. Deterministic in (seed, component);
+// distinct components and adjacent seeds both yield unrelated streams.
+// Component names are dotted paths by convention ("defense.compare.eval").
+func DeriveSeed(seed int64, component string) int64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(component); i++ {
+		h ^= uint64(component[i])
+		h *= fnvPrime64
+	}
+	return int64(mix64(uint64(seed) ^ h))
+}
+
+// DeriveSeedIndexed is DeriveSeed for a family of streams within one
+// component (one per monitor count, shard, repetition...): index is
+// folded in with a golden-ratio step before the final mix, so
+// consecutive indices also yield unrelated streams.
+func DeriveSeedIndexed(seed int64, component string, index int) int64 {
+	return int64(mix64(uint64(DeriveSeed(seed, component)) + 0x9E3779B97F4A7C15*uint64(int64(index))))
+}
