@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff lint-panics lint-paths
+.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff scale-smoke lint-panics lint-paths
 
 # Tier-1 matrix: everything CI gates on. The conservation differential
 # re-runs explicitly so a counter-attribution regression names itself in
@@ -13,6 +13,7 @@ check: lint-panics lint-paths
 	$(GO) test -run=TestBatchedSweepPropagationConservation -count=1 ./internal/experiment/
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
 	$(MAKE) bench-smoke
+	$(MAKE) scale-smoke
 
 # Sweep workers must return errors, never panic (DESIGN.md §6 "Error
 # contract"): non-test code in the gated packages may not call panic().
@@ -63,19 +64,28 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Internet-scale smoke (DESIGN §5f): a reduced tier-1 pair sweep over the
+# canonical internet80k topology through the sharded path, under an
+# explicit per-shard cache budget. The test fails if the recorded memory
+# gauges exceed the budget, so a working-set regression gates CI.
+scale-smoke:
+	ASPP_SCALE=1 $(GO) test -run=TestScale80kPairSweepWithinBudget -count=1 .
+
 # Machine-readable record of the tier-1 benchmark suite: run the root
 # package benchmarks with -benchmem and parse the output into
-# BENCH_pr8.json (benchmark name -> ns/op, B/op, allocs/op; schema in
-# EXPERIMENTS.md). The committed file is the baseline future PRs diff
-# against, via `benchjson -diff` or benchstat (see README).
+# BENCH_pr9.json (benchmark name -> ns/op, B/op, allocs/op; schema in
+# EXPERIMENTS.md). ASPP_SCALE=1 ungates the 80k sweep benchmark so the
+# committed record carries the Internet-scale entry. The committed file
+# is the baseline future PRs diff against, via `benchjson -diff` or
+# benchstat (see README).
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
-	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr8.json
+	ASPP_SCALE=1 $(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr9.json
 	@rm -f .bench.out.tmp
-	@echo wrote BENCH_pr8.json
+	@echo wrote BENCH_pr9.json
 
-# Per-benchmark before/after table plus geomean for the PR 8 record
-# (BenchmarkBatchDeltaVsSerial is new in PR 8, so it appears only on the
-# "after" side; the shared rows gate against regressions).
+# Per-benchmark before/after table plus geomean for the PR 9 record
+# (the sharded-sweep and 80k benchmarks are new in PR 9, so they appear
+# only on the "after" side; the shared rows gate against regressions).
 bench-diff:
-	$(GO) run ./tools/benchjson -diff BENCH_pr6.json BENCH_pr8.json
+	$(GO) run ./tools/benchjson -diff BENCH_pr8.json BENCH_pr9.json

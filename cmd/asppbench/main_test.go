@@ -142,6 +142,53 @@ func TestRunBatchFlagValidation(t *testing.T) {
 	}
 }
 
+func TestRunShardFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-exp", "fig9", "-n", "400", "-shards", "-2"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("-shards -2: want a shard-count error, got %v", err)
+	}
+	for _, bad := range []string{"0", "-5", "x", "12Q", "M"} {
+		err := run(context.Background(), []string{"-exp", "fig9", "-n", "400", "-mem-budget", bad}, &sb)
+		if err == nil || !strings.Contains(err.Error(), "-mem-budget") {
+			t.Errorf("-mem-budget %q: want a budget error, got %v", bad, err)
+		}
+	}
+	cases := map[string]int64{"65536": 65536, "4k": 4 << 10, "512M": 512 << 20, "2G": 2 << 30}
+	for in, want := range cases {
+		if got, err := parseMemBudget(in); err != nil || got != want {
+			t.Errorf("parseMemBudget(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if got, err := parseMemBudget(""); err != nil || got != 0 {
+		t.Errorf("parseMemBudget(\"\") = %d, %v; want 0 (no budget)", got, err)
+	}
+}
+
+// TestRunShardByteIdentical pins the tentpole acceptance contract at the
+// CLI boundary: sweep TSVs must be byte-identical at any shard count and
+// under a per-shard memory budget.
+func TestRunShardByteIdentical(t *testing.T) {
+	const exps = "fig7,fig9,susceptibility"
+	runWith := func(extra ...string) string {
+		var sb strings.Builder
+		args := append([]string{"-exp", exps, "-n", "400", "-batch", "8"}, extra...)
+		if err := run(context.Background(), args, &sb); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		return sb.String()
+	}
+	unsharded := runWith()
+	for _, shards := range []string{"1", "2", "7", "32"} {
+		if got := runWith("-shards", shards, "-mem-budget", "64k"); got != unsharded {
+			t.Errorf("-shards %s output differs from unsharded:\n got: %s\nwant: %s", shards, got, unsharded)
+		}
+	}
+	if got := runWith("-mem-budget", "512M"); got != unsharded {
+		t.Errorf("-mem-budget alone differs from unsharded:\n got: %s\nwant: %s", got, unsharded)
+	}
+}
+
 // TestRunBatchByteIdentical pins the acceptance contract at the CLI
 // boundary: the sweep TSVs must be byte-identical whether the attack
 // legs run serially or K lanes at a time.

@@ -31,9 +31,11 @@ func run(args []string, out io.Writer) error {
 	var (
 		n        = fs.Int("n", 4000, "number of ASes")
 		seed     = fs.Int64("seed", 1, "random seed")
+		preset   = fs.String("preset", "", "calibrated generator preset: 'internet80k' (n=80000, wide ASN pool, CAIDA-like shape); -n overrides its size")
 		topoFile = fs.String("topo", "", "load a serial-2 file instead of generating")
 		outFile  = fs.String("out", "", "write the topology (serial-2) to this file")
 		showStat = fs.Bool("stats", true, "print structural statistics")
+		digest   = fs.Bool("digest", false, "print the structure digest (FNV-1a over ASNs and links; pins the canonical internet80k fixture)")
 		infer    = fs.Bool("infer", false, "run relationship inference and score it")
 		origins  = fs.Int("infer-origins", 200, "origin sample size for inference")
 	)
@@ -44,20 +46,34 @@ func run(args []string, out io.Writer) error {
 
 	var internet *aspp.Internet
 	var err error
-	if *topoFile != "" {
+	switch {
+	case *topoFile != "":
 		f, ferr := os.Open(*topoFile)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
 		internet, err = aspp.LoadInternet(f)
-	} else {
+	case *preset != "":
+		if *preset != "internet80k" {
+			return fmt.Errorf("-preset: unknown preset %q (want 'internet80k')", *preset)
+		}
+		size := topology.Internet80kASes
+		if flagSet(fs, "n") {
+			size = *n
+		}
+		internet, err = aspp.NewInternet(aspp.WithGenConfig(topology.InternetGenConfig(size)), aspp.WithSeed(*seed))
+	default:
 		internet, err = aspp.NewInternet(aspp.WithSize(*n), aspp.WithSeed(*seed))
 	}
 	if err != nil {
 		return err
 	}
 	g := internet.Graph()
+
+	if *digest {
+		fmt.Fprintf(out, "digest:          %#016x\n", topology.Digest(g))
+	}
 
 	if *showStat {
 		ps, err := topology.MeasurePaths(g, 30)
@@ -105,4 +121,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", *outFile)
 	}
 	return nil
+}
+
+// flagSet reports whether the named flag was explicitly passed.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

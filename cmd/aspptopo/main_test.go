@@ -45,6 +45,48 @@ func TestRunInfer(t *testing.T) {
 	}
 }
 
+// TestRunPresetDigest: the internet80k preset reproduces the canonical
+// fixture digest end to end through the CLI (the committed scale results
+// are tied to this graph), and -n scales the preset's shape down.
+func TestRunPresetDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("80k generation under -short")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-preset", "internet80k", "-stats=false", "-digest"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "digest:          0x661d6d375e6cd96b") {
+		t.Errorf("canonical internet80k digest missing:\n%s", sb.String())
+	}
+}
+
+func TestRunPresetScaledDown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-preset", "internet80k", "-n", "2000", "-stats=false", "-digest"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	first := sb.String()
+	if !strings.Contains(first, "digest:          0x") {
+		t.Errorf("digest line missing:\n%s", first)
+	}
+	// Deterministic: same invocation, same digest.
+	var sb2 strings.Builder
+	if err := run([]string{"-preset", "internet80k", "-n", "2000", "-stats=false", "-digest"}, &sb2); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if sb2.String() != first {
+		t.Errorf("preset digest nondeterministic:\n%s\nvs\n%s", first, sb2.String())
+	}
+}
+
+func TestRunPresetUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-preset", "internet9000"}, &sb); err == nil || !strings.Contains(err.Error(), "-preset") {
+		t.Errorf("unknown preset: want a -preset error, got %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-topo", "/nonexistent"}, &sb); err == nil {

@@ -36,6 +36,27 @@ type BaselineCache struct {
 	obs *obs.Counters
 	mu  sync.Mutex
 	m   map[baselineKey]*baselineEntry
+
+	// Byte-budgeted mode (sharded sweeps, DESIGN §5f). budget == 0 means
+	// unbounded — the legacy shared cache. In budgeted mode the cache
+	// tracks the bytes of successfully installed Results (order records
+	// insertion order) and evicts FIFO down to budget whenever an insert
+	// exceeds it, always retaining at least the keep newest entries (the
+	// warm group's lane width — evicting those would thrash the group
+	// mid-use). Eviction deletes the map entry only: outstanding *Result
+	// pointers held by callers stay valid (a Result is immutable), the
+	// victim is merely recomputed — and re-counted as a miss — if
+	// requested again. peak is the high-watermark the cache_bytes gauge
+	// reports; it survives Release.
+	//
+	// A budgeted cache is meant for single-goroutine (shard-local) use:
+	// the accounting assumes the goroutine that creates an entry is the
+	// one that computes it.
+	budget int64
+	keep   int
+	bytes  int64
+	peak   int64
+	order  []baselineKey
 }
 
 // baselineOnly computes one cache entry. It is a package variable only so
@@ -80,6 +101,76 @@ func NewBaselineCacheObs(g *topology.Graph, c *obs.Counters) *BaselineCache {
 	return &BaselineCache{g: g, obs: c, m: make(map[baselineKey]*baselineEntry)}
 }
 
+// NewBaselineCacheBudget returns a byte-budgeted cache for shard-local
+// use: once the installed Results exceed budget bytes the oldest entries
+// are evicted FIFO, always retaining at least the keep newest (keep is
+// clamped to >= 1). budget <= 0 means unbounded, identical to
+// NewBaselineCacheObs.
+func NewBaselineCacheBudget(g *topology.Graph, c *obs.Counters, budget int64, keep int) *BaselineCache {
+	cc := NewBaselineCacheObs(g, c)
+	if budget > 0 {
+		if keep < 1 {
+			keep = 1
+		}
+		cc.budget, cc.keep = budget, keep
+	}
+	return cc
+}
+
+// account records one successfully installed Result against the budget
+// and evicts FIFO past it. Error entries are never accounted (they hold
+// no Result) and therefore never evicted — a poisoned key stays poisoned.
+func (c *BaselineCache) account(key baselineKey, res *routing.Result) {
+	if c.budget <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.bytes += res.MemoryBytes()
+	c.order = append(c.order, key)
+	for c.bytes > c.budget && len(c.order) > c.keep {
+		old := c.order[0]
+		c.order = c.order[1:]
+		if e := c.m[old]; e != nil && e.res != nil {
+			c.bytes -= e.res.MemoryBytes()
+			delete(c.m, old)
+		}
+	}
+	// Peak is sampled post-eviction: the resident footprint the budget
+	// governs, not the transient insert overshoot. It exceeds budget only
+	// when the keep floor alone does.
+	if c.bytes > c.peak {
+		c.peak = c.bytes
+	}
+	c.mu.Unlock()
+}
+
+// Bytes reports the bytes currently held by installed Results (budgeted
+// caches only; 0 otherwise).
+func (c *BaselineCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// PeakBytes reports the high-watermark of Bytes over the cache's
+// lifetime — the value the cache_bytes gauge records. It survives
+// Release so a shard can be audited after its cache is dropped.
+func (c *BaselineCache) PeakBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// Release drops every entry, returning the cache to empty (the
+// release-after-shard lifecycle). PeakBytes is retained.
+func (c *BaselineCache) Release() {
+	c.mu.Lock()
+	c.m = make(map[baselineKey]*baselineEntry)
+	c.order = nil
+	c.bytes = 0
+	c.mu.Unlock()
+}
+
 // Get returns the no-attack baseline for origin announcing with λ = lambda
 // uniformly to all neighbors, computing it on first request. Concurrent
 // callers for the same key block until the single computation finishes and
@@ -105,6 +196,7 @@ func (c *BaselineCache) Get(origin bgp.ASN, lambda int) (*routing.Result, error)
 		})
 		if e.err == nil {
 			c.obs.AddBasePropagations(1)
+			c.account(key, e.res)
 		}
 	})
 	return e.res, e.err
@@ -176,8 +268,11 @@ func (c *BaselineCache) WarmBatch(keys []BaselineKey, bs *routing.BatchScratch) 
 		return fmt.Errorf("experiment: warm batch: %w", err)
 	}
 	for i, lane := range br.Lanes {
-		e := live[i]
-		e.once.Do(func() { e.res = lane.Clone() })
+		e, key := live[i], baselineKey{origin: lanes[i].Origin, lambda: lanes[i].Prepend}
+		e.once.Do(func() {
+			e.res = lane.Clone()
+			c.account(key, e.res)
+		})
 	}
 	c.obs.AddBatchPropagations(int64(len(lanes)))
 	c.obs.AddBatchCalls(1)

@@ -67,6 +67,17 @@ type PairConfig struct {
 	// ablation), as do sibling topologies. 0 or 1 keeps everything
 	// lazy/serial.
 	Batch int
+	// Shards > 0 partitions the candidate space by victim into that many
+	// shards, each owning a private byte-budgeted BaselineCache, and
+	// dispatches shards across the worker pool (DESIGN §5f). Output is
+	// byte-identical to the unsharded path at any shard count. 0 with no
+	// MemBudget keeps the legacy shared-cache path.
+	Shards int
+	// MemBudget caps each shard's baseline-cache bytes (FIFO eviction)
+	// and adaptively narrows the attack-leg lane width to fit
+	// (routing.AdaptiveLaneWidthBudget). MemBudget alone implies one
+	// budgeted shard; 0 means unbounded.
+	MemBudget int64
 }
 
 // SamplePairs simulates cfg.N interception instances with independently
@@ -116,22 +127,21 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 	// the whole budget — determinism is in the stream, not the batching.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	budget := cfg.N * 20
-	type pair struct{ v, m bgp.ASN }
 	var (
 		drawn      int
-		seen       = make(map[pair]bool, cfg.N)
+		seen       = make(map[pairDraw]bool, cfg.N)
 		maxOrdered = len(pool) * (len(pool) - 1)
 		exhausted  bool
 	)
-	nextChunk := func(size int) []pair {
-		chunk := make([]pair, 0, size)
+	nextChunk := func(size int) []pairDraw {
+		chunk := make([]pairDraw, 0, size)
 		for len(chunk) < size && drawn < budget && !exhausted {
 			v := pool[rng.Intn(len(pool))]
 			m := pool[rng.Intn(len(pool))]
 			if v == m {
 				continue
 			}
-			p := pair{v, m}
+			p := pairDraw{v, m}
 			if cfg.Kind == PairsTier1 && seen[p] {
 				continue // tier-1 pool is small; avoid duplicate instances
 			}
@@ -145,19 +155,48 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 		return chunk
 	}
 
-	cache := NewBaselineCacheObs(g, cfg.Counters)
+	nShards, err := normalizeShards(cfg.Shards, cfg.MemBudget)
+	if err != nil {
+		return nil, err
+	}
 	var (
+		ss       *shardSet
+		cache    *BaselineCache
 		warmBS   *routing.BatchScratch
 		warmKeys []BaselineKey
 	)
-	if cfg.Batch > 1 {
-		warmBS = routing.NewBatchScratch()
+	if nShards > 0 {
+		// Sharded path: shard states (and their caches) persist across
+		// chunks so repeated victims stay warm; gauges are recorded and
+		// caches released when the sweep completes.
+		ss = newShardSet(g, nShards, cfg.MemBudget, cfg.Batch, cfg.Counters)
+	} else {
+		cache = NewBaselineCacheObs(g, cfg.Counters)
+		if cfg.Batch > 1 {
+			warmBS = routing.NewBatchScratch()
+		}
 	}
 	out := make([]PairImpact, 0, cfg.N)
 	for len(out) < cfg.N {
 		chunk := nextChunk(cfg.N)
 		if len(chunk) == 0 {
 			break // retry budget or pair space exhausted
+		}
+		if ss != nil {
+			results, serr := ss.runPairChunk(ctx, cfg, chunk)
+			if serr != nil {
+				return nil, sweepError("pair sweep", serr)
+			}
+			for _, r := range results {
+				if r == nil {
+					continue
+				}
+				out = append(out, *r)
+				if len(out) == cfg.N {
+					break
+				}
+			}
+			continue
 		}
 		if cfg.Batch > 1 {
 			// Warm the chunk's baselines in lane groups. WarmBatch skips
@@ -266,6 +305,9 @@ func SamplePairsCtx(ctx context.Context, g *topology.Graph, cfg PairConfig) ([]P
 			}
 		}
 	}
+	if ss != nil {
+		ss.finish(cfg.Counters)
+	}
 	if len(out) < cfg.N {
 		return out, fmt.Errorf("experiment: only %d of %d instances usable", len(out), cfg.N)
 	}
@@ -331,6 +373,13 @@ type SweepConfig struct {
 	// sibling topologies keep the attack legs serial. 0 or 1 keeps
 	// everything lazy/serial.
 	Batch int
+	// Shards > 0 splits λ = 1..MaxLambda into contiguous blocks, one
+	// budgeted shard cache per block (DESIGN §5f); output byte-identical
+	// at any shard count. MemBudget caps each shard's cache bytes and
+	// narrows the lane width to fit; MemBudget alone implies one budgeted
+	// shard.
+	Shards    int
+	MemBudget int64
 }
 
 // SweepPrependCfgCtx simulates one victim/attacker pair for
@@ -343,6 +392,11 @@ type SweepConfig struct {
 func SweepPrependCfgCtx(ctx context.Context, g *topology.Graph, cfg SweepConfig) ([]SweepPoint, error) {
 	if cfg.MaxLambda < 1 {
 		return nil, errors.New("experiment: maxLambda must be >= 1")
+	}
+	if nShards, err := normalizeShards(cfg.Shards, cfg.MemBudget); err != nil {
+		return nil, err
+	} else if nShards > 0 {
+		return runShardedSweep(ctx, g, cfg, nShards)
 	}
 	cache := NewBaselineCacheObs(g, cfg.Counters)
 	if cfg.Batch > 1 {

@@ -47,6 +47,13 @@ type SusceptibilityConfig struct {
 	// identical to the serial path. EngineFull and sibling topologies
 	// keep the attack legs serial. 0 or 1 keeps everything lazy/serial.
 	Batch int
+	// Shards > 0 partitions the jobs by victim into that many shards,
+	// each owning a private byte-budgeted BaselineCache released as soon
+	// as its shard completes (DESIGN §5f); output byte-identical at any
+	// shard count. MemBudget caps each shard's cache bytes and narrows
+	// the lane width to fit; MemBudget alone implies one budgeted shard.
+	Shards    int
+	MemBudget int64
 }
 
 // DefaultSusceptibilityConfig returns the calibrated setup. The matrix
@@ -97,11 +104,7 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 	sort.Ints(tiers)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	type job struct {
-		vTier, aTier int
-		v, m         bgp.ASN
-	}
-	var jobs []job
+	var jobs []susJob
 	for _, vt := range tiers {
 		for _, at := range tiers {
 			vPool, aPool := byTier[vt], byTier[at]
@@ -113,10 +116,21 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 				v := vPool[rng.Intn(len(vPool))]
 				m := aPool[rng.Intn(len(aPool))]
 				if v != m {
-					jobs = append(jobs, job{vTier: vt, aTier: at, v: v, m: m})
+					jobs = append(jobs, susJob{vTier: vt, aTier: at, v: v, m: m})
 				}
 			}
 		}
+	}
+	nShards, err := normalizeShards(cfg.Shards, cfg.MemBudget)
+	if err != nil {
+		return nil, err
+	}
+	if nShards > 0 {
+		fractions, err := runShardedSusceptibility(ctx, g, cfg, nShards, jobs)
+		if err != nil {
+			return nil, err
+		}
+		return susCells(cfg, jobs, fractions)
 	}
 	cache := NewBaselineCacheObs(g, cfg.Counters)
 	if cfg.Batch > 1 {
@@ -197,6 +211,14 @@ func SusceptibilityMatrixCtx(ctx context.Context, g *topology.Graph, cfg Suscept
 		}
 	}
 
+	return susCells(cfg, jobs, fractions)
+}
+
+// susCells aggregates per-job pollution fractions (-1 = unusable draw)
+// into the sorted tier matrix, capping each cell at PairsPerCell in job
+// order — shared by the sharded and unsharded paths, so the aggregation
+// cannot drift between them.
+func susCells(cfg SusceptibilityConfig, jobs []susJob, fractions []float64) ([]TierCell, error) {
 	cells := make(map[[2]int]*TierCell)
 	for i, f := range fractions {
 		if f < 0 {

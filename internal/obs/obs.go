@@ -30,6 +30,18 @@ type lineCounter struct {
 	_ [56]byte // pad to 64 bytes: one counter per cache line
 }
 
+// recordMax raises the counter to n if n is larger — the high-watermark
+// update the byte gauges use. Concurrent recorders converge on the
+// maximum regardless of interleaving.
+func (c *lineCounter) recordMax(n int64) {
+	for {
+		cur := c.Load()
+		if n <= cur || c.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Counters aggregates one sweep's telemetry. The zero value is ready to
 // use. Every method is safe for concurrent use and nil-safe, so drivers
 // thread an optional *Counters unconditionally — a nil receiver makes all
@@ -48,6 +60,16 @@ type Counters struct {
 
 	deltaBatchPropagations lineCounter
 	deltaBatchCalls        lineCounter
+
+	// Byte gauges: high-watermark memory footprints (DESIGN §5f). Unlike
+	// the counters above these are max-merged, not summed — each records
+	// the largest footprint any single recorder observed, so the reported
+	// value bounds the peak working set of one shard/worker rather than
+	// accumulating over the sweep.
+	scratchBytes lineCounter
+	arenaBytes   lineCounter
+	cacheBytes   lineCounter
+	csrBytes     lineCounter
 }
 
 // AddBasePropagations records n no-attack (baseline) propagations.
@@ -147,6 +169,40 @@ func (c *Counters) AddDeltaBatchCalls(n int64) {
 	}
 }
 
+// RecordScratchBytes raises the scratch-memory high-watermark gauge: the
+// per-worker propagation state (Scratch + BatchScratch/runner) footprint
+// of the largest single worker or shard.
+func (c *Counters) RecordScratchBytes(n int64) {
+	if c != nil {
+		c.scratchBytes.recordMax(n)
+	}
+}
+
+// RecordArenaBytes raises the path-arena high-watermark gauge.
+func (c *Counters) RecordArenaBytes(n int64) {
+	if c != nil {
+		c.arenaBytes.recordMax(n)
+	}
+}
+
+// RecordCacheBytes raises the baseline-cache high-watermark gauge: the
+// peak byte footprint of the largest single shard's BaselineCache. The
+// scale-smoke gate asserts this stays within the per-shard -mem-budget.
+func (c *Counters) RecordCacheBytes(n int64) {
+	if c != nil {
+		c.cacheBytes.recordMax(n)
+	}
+}
+
+// RecordCSRBytes raises the topology (CSR graph) footprint gauge. The
+// graph is shared read-only across shards, so this is recorded once per
+// sweep rather than per worker.
+func (c *Counters) RecordCSRBytes(n int64) {
+	if c != nil {
+		c.csrBytes.recordMax(n)
+	}
+}
+
 // Merge adds o's counts into c (both sides nil-safe). Merging per-sweep
 // counters is deterministic: addition commutes, so any merge order yields
 // the same totals.
@@ -167,6 +223,13 @@ func (c *Counters) Merge(o *Counters) {
 	c.batchCalls.Add(s.BatchCalls)
 	c.deltaBatchPropagations.Add(s.DeltaBatchPropagations)
 	c.deltaBatchCalls.Add(s.DeltaBatchCalls)
+
+	// Gauges are high-watermarks: merging takes the max, so the combined
+	// report still bounds the largest single recorder.
+	c.scratchBytes.recordMax(s.ScratchBytes)
+	c.arenaBytes.recordMax(s.ArenaBytes)
+	c.cacheBytes.recordMax(s.CacheBytes)
+	c.csrBytes.recordMax(s.CSRBytes)
 }
 
 // Snapshot is a point-in-time copy of a Counters, safe to compare and
@@ -185,6 +248,11 @@ type Snapshot struct {
 
 	DeltaBatchPropagations int64
 	DeltaBatchCalls        int64
+
+	ScratchBytes int64
+	ArenaBytes   int64
+	CacheBytes   int64
+	CSRBytes     int64
 }
 
 // Snapshot reads all counters. A nil receiver yields the zero Snapshot.
@@ -206,6 +274,11 @@ func (c *Counters) Snapshot() Snapshot {
 
 		DeltaBatchPropagations: c.deltaBatchPropagations.Load(),
 		DeltaBatchCalls:        c.deltaBatchCalls.Load(),
+
+		ScratchBytes: c.scratchBytes.Load(),
+		ArenaBytes:   c.arenaBytes.Load(),
+		CacheBytes:   c.cacheBytes.Load(),
+		CSRBytes:     c.csrBytes.Load(),
 	}
 }
 
@@ -219,12 +292,13 @@ func (s Snapshot) AttackPropagations() int64 {
 // -counters output format).
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d prop_delta_batch=%d delta_batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d",
+		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d prop_delta_batch=%d delta_batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d scratch_bytes=%d arena_bytes=%d cache_bytes=%d csr_bytes=%d",
 		s.BasePropagations, s.FullPropagations, s.DeltaPropagations,
 		s.BatchPropagations, s.BatchCalls,
 		s.DeltaBatchPropagations, s.DeltaBatchCalls,
 		s.BaselineHits, s.BaselineMisses,
-		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates)
+		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates,
+		s.ScratchBytes, s.ArenaBytes, s.CacheBytes, s.CSRBytes)
 }
 
 // String formats the current counts; nil-safe.

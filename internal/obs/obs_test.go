@@ -21,6 +21,10 @@ func TestNilCountersAreNoOps(t *testing.T) {
 	c.AddChurnUpdates(1)
 	c.AddBatchPropagations(1)
 	c.AddBatchCalls(1)
+	c.RecordScratchBytes(1)
+	c.RecordArenaBytes(1)
+	c.RecordCacheBytes(1)
+	c.RecordCSRBytes(1)
 	c.Merge(&Counters{})
 	(&Counters{}).Merge(c)
 	if got := c.Snapshot(); got != (Snapshot{}) {
@@ -66,6 +70,62 @@ func TestSnapshotAndMerge(t *testing.T) {
 	// b is unchanged by the merge.
 	if b.Snapshot().BaselineHits != 7 {
 		t.Fatalf("Merge mutated the source: %+v", b.Snapshot())
+	}
+}
+
+// TestByteGauges pins the high-watermark semantics of the memory gauges:
+// recording never lowers a gauge, and Merge takes the max (not the sum),
+// so the merged report still bounds the largest single shard.
+func TestByteGauges(t *testing.T) {
+	var a Counters
+	a.RecordScratchBytes(100)
+	a.RecordScratchBytes(50) // lower sample must not regress the watermark
+	a.RecordArenaBytes(7)
+	a.RecordCacheBytes(200)
+	a.RecordCacheBytes(300)
+	a.RecordCSRBytes(-1) // non-positive samples are ignored
+	s := a.Snapshot()
+	if s.ScratchBytes != 100 || s.ArenaBytes != 7 || s.CacheBytes != 300 || s.CSRBytes != 0 {
+		t.Fatalf("Snapshot()=%+v, want scratch=100 arena=7 cache=300 csr=0", s)
+	}
+
+	var b Counters
+	b.RecordScratchBytes(40)
+	b.RecordCacheBytes(999)
+	b.RecordCSRBytes(12)
+	a.Merge(&b)
+	m := a.Snapshot()
+	if m.ScratchBytes != 100 || m.CacheBytes != 999 || m.CSRBytes != 12 {
+		t.Fatalf("merged Snapshot()=%+v, want max-merged scratch=100 cache=999 csr=12", m)
+	}
+	// The counter half of the same Merge still sums (watermark fields must
+	// not leak max semantics into the additive fields and vice versa).
+	a.AddBasePropagations(1)
+	b.AddBasePropagations(2)
+	a.Merge(&b)
+	if got := a.Snapshot().BasePropagations; got != 3 {
+		t.Fatalf("BasePropagations after merge = %d, want 3", got)
+	}
+}
+
+// TestByteGaugesConcurrent: concurrent recorders converge on the true
+// maximum regardless of interleaving (exercised under -race).
+func TestByteGaugesConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 1; g <= goroutines; g++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			for i := int64(1); i <= 100; i++ {
+				c.RecordCacheBytes(v * i)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := c.Snapshot().CacheBytes; got != goroutines*100 {
+		t.Fatalf("CacheBytes=%d, want %d", got, goroutines*100)
 	}
 }
 

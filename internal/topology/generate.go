@@ -37,6 +37,12 @@ type GenConfig struct {
 	PeerDegreeContent float64
 	// Seed drives all randomness; equal configs generate equal graphs.
 	Seed int64
+	// ASNSpace is the size of the ASN pool numbers are drawn from
+	// (ASNs are uniform in [1, ASNSpace]). Zero means the legacy 16-bit
+	// public range (64495), which caps usable N — rejection sampling
+	// needs headroom, so Validate requires ASNSpace >= 2*N. Internet-scale
+	// configs (see InternetGenConfig) widen this into the 32-bit range.
+	ASNSpace int
 }
 
 // DefaultGenConfig returns a calibrated configuration for n ASes.
@@ -55,10 +61,61 @@ func DefaultGenConfig(n int) GenConfig {
 	}
 }
 
+// legacyASNSpace is the ASN pool used when ASNSpace is zero: the 16-bit
+// public range. Every pre-existing seeded graph (goldens, fixtures) was
+// drawn from it, so the zero value must keep meaning exactly this.
+const legacyASNSpace = 64495
+
+// asnSpace resolves the effective ASN pool size.
+func (c GenConfig) asnSpace() int {
+	if c.ASNSpace == 0 {
+		return legacyASNSpace
+	}
+	return c.ASNSpace
+}
+
+// InternetGenConfig returns an Internet-scale configuration for n ASes,
+// calibrated so that at n≈80k the structural stats land near the CAIDA
+// AS-relationship snapshots the paper's scenario assumes: a ~16-member
+// provider-free core, ~15% of ASes providing transit, ~85% stubs, mean
+// degree ≈ 7-8 (≈3.7 links per AS — CAIDA serial-2 snapshots at 60-80k
+// ASes carry ≈2.5-4 links/AS), multihoming mean ≈ 2.2 providers, and a
+// heavy-tailed degree distribution from preferential attachment (max
+// degree in the hundreds against a single-digit median). Distinct from
+// DefaultGenConfig,
+// which keeps Tier1=10 and denser transit regardless of n — fine at
+// n=4000, structurally wrong at 80k. ASNs draw from a 400k pool
+// (32-bit range), since 80k ASes cannot fit the legacy 16-bit pool.
+// TestInternetGenConfigStats pins the calibration bounds;
+// TestInternet80kDigest pins exact reproducibility at the canonical
+// n=80000, Seed=1.
+func InternetGenConfig(n int) GenConfig {
+	return GenConfig{
+		N:                 n,
+		Tier1:             16,
+		LargeTransitFrac:  0.035,
+		SmallTransitFrac:  0.115,
+		ContentFrac:       0.06,
+		MeanProviders:     2.2,
+		PeerDegreeT2:      30,
+		PeerDegreeT3:      5,
+		PeerDegreeContent: 25,
+		Seed:              1,
+		ASNSpace:          400000,
+	}
+}
+
+// Internet80kASes is the canonical Internet-scale size: the ~80k-AS graph
+// the paper's full-Internet sweeps target (ROADMAP item 1).
+const Internet80kASes = 80000
+
 // Validate checks the configuration for consistency.
 func (c GenConfig) Validate() error {
 	if c.N < 16 {
 		return fmt.Errorf("topology: N=%d too small (min 16)", c.N)
+	}
+	if space := c.asnSpace(); space < 2*c.N {
+		return fmt.Errorf("topology: ASNSpace=%d too small for N=%d (need >= 2N for rejection-sampling headroom)", space, c.N)
 	}
 	if c.Tier1 < 2 || c.Tier1 >= c.N/2 {
 		return fmt.Errorf("topology: Tier1=%d out of range", c.Tier1)
@@ -82,12 +139,14 @@ func Generate(cfg GenConfig) (*Graph, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Assign distinct, realistic-looking ASNs (16-bit range, shuffled).
+	// Assign distinct, realistic-looking ASNs drawn uniformly from the
+	// configured pool (legacy 16-bit range unless ASNSpace widens it).
+	space := cfg.asnSpace()
 	asns := make([]bgp.ASN, cfg.N)
 	used := make(map[bgp.ASN]struct{}, cfg.N)
 	for i := range asns {
 		for {
-			a := bgp.ASN(1 + rng.Intn(64495))
+			a := bgp.ASN(1 + rng.Intn(space))
 			if _, dup := used[a]; !dup {
 				used[a] = struct{}{}
 				asns[i] = a

@@ -1,0 +1,115 @@
+package aspp
+
+// Internet-scale sharded sweeps (DESIGN §5f). The 80k tests generate the
+// canonical internet80k topology (pinned by TestInternet80kDigest) and
+// run the pair sweep through the sharded, byte-budgeted path. They are
+// gated behind ASPP_SCALE=1 — `make scale-smoke` (part of `make check`)
+// runs them; a plain `go test ./...` skips them to stay fast.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"aspp/internal/topology"
+)
+
+func scaleGate(tb testing.TB) {
+	if os.Getenv("ASPP_SCALE") == "" {
+		tb.Skip("80k scale run gated behind ASPP_SCALE=1 (make scale-smoke)")
+	}
+}
+
+func internet80k(tb testing.TB) *Internet {
+	tb.Helper()
+	in, err := NewInternet(WithGenConfig(topology.InternetGenConfig(topology.Internet80kASes)))
+	if err != nil {
+		tb.Fatalf("internet80k: %v", err)
+	}
+	return in
+}
+
+// TestScale80kPairSweepWithinBudget is the scale-smoke gate: a reduced
+// tier-1 pair sweep over the full 80k topology, sharded with an explicit
+// per-shard cache budget, must complete and the recorded memory gauges
+// must respect that budget. This is the ISSUE's acceptance criterion
+// that an Internet-scale sweep's working set is bounded by configuration,
+// not by the victim count.
+func TestScale80kPairSweepWithinBudget(t *testing.T) {
+	scaleGate(t)
+	const budget = 64 << 20 // per-shard baseline-cache cap
+	in := internet80k(t)
+	c := new(Counters)
+	start := time.Now()
+	pairs, err := in.SamplePairs(PairConfig{
+		Kind: PairsTier1, N: 24, Prepend: 3, Seed: 1,
+		Workers: runtime.NumCPU(), Batch: 16,
+		Shards: 4, MemBudget: budget, Counters: c,
+	})
+	if err != nil {
+		t.Fatalf("80k pair sweep: %v", err)
+	}
+	if len(pairs) != 24 {
+		t.Fatalf("got %d pairs, want 24", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.After < 0 || p.After > 1 {
+			t.Fatalf("pair %d pollution out of range: %+v", i, p)
+		}
+	}
+	s := c.Snapshot()
+	t.Logf("80k sweep: %v; cache_bytes=%d (budget %d) scratch_bytes=%d csr_bytes=%d",
+		time.Since(start).Round(time.Millisecond), s.CacheBytes, int64(budget), s.ScratchBytes, s.CSRBytes)
+	if s.CacheBytes <= 0 || s.ScratchBytes <= 0 || s.CSRBytes <= 0 {
+		t.Fatalf("memory gauges not recorded: %+v", s)
+	}
+	if s.CacheBytes > budget {
+		t.Fatalf("cache_bytes %d exceeds per-shard budget %d", s.CacheBytes, budget)
+	}
+}
+
+// BenchmarkShardedPairSweep records the shard-scaling ratio at bench
+// scale: one shard on one worker vs NumCPU shards on NumCPU workers,
+// identical output by the invariance differential.
+func BenchmarkShardedPairSweep(b *testing.B) {
+	in := benchInternet(b)
+	workers := runtime.NumCPU()
+	cases := []struct {
+		name            string
+		shards, workers int
+	}{
+		{"shards=1/workers=1", 1, 1},
+		{"shards=max/workers=max", workers, workers},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := in.SamplePairs(PairConfig{
+					Kind: PairsTier1, N: 40, Prepend: 3, Seed: 1,
+					Workers: bc.workers, Batch: 16,
+					Shards: bc.shards, MemBudget: 32 << 20,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScale80kPairSweep is the committed 80k record (BENCH_pr9.json):
+// the scale-smoke sweep as a benchmark, gated like the scale tests.
+func BenchmarkScale80kPairSweep(b *testing.B) {
+	scaleGate(b)
+	in := internet80k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SamplePairs(PairConfig{
+			Kind: PairsTier1, N: 24, Prepend: 3, Seed: 1,
+			Workers: runtime.NumCPU(), Batch: 16,
+			Shards: 4, MemBudget: 64 << 20,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
