@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff scale-smoke lint-panics lint-paths
+.PHONY: check build test race fuzz-smoke bench bench-smoke bench-json bench-diff scale-smoke serve-smoke lint-panics lint-paths
 
 # Tier-1 matrix: everything CI gates on. The conservation differential
 # re-runs explicitly so a counter-attribution regression names itself in
@@ -14,6 +14,7 @@ check: lint-panics lint-paths
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
 	$(MAKE) bench-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) serve-smoke
 
 # Sweep workers must return errors, never panic (DESIGN.md §6 "Error
 # contract"): non-test code in the gated packages may not call panic().
@@ -45,14 +46,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/core/ ./internal/experiment/ ./internal/measure/
+	$(GO) test -race ./internal/parallel/ ./internal/routing/ ./internal/core/ ./internal/experiment/ ./internal/measure/ ./internal/serve/
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPathCodec -fuzztime=10s ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzStreamDecoder -fuzztime=10s ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzDetect -fuzztime=10s ./internal/detect/
 	$(GO) test -run='^$$' -fuzz=FuzzSerial2 -fuzztime=10s ./internal/topology/
 	$(GO) test -run='^$$' -fuzz='^FuzzPropagateBatch$$' -fuzztime=10s ./internal/routing/
 	$(GO) test -run='^$$' -fuzz=FuzzPropagateAttackDeltaBatch -fuzztime=10s ./internal/routing/
+
+# Serving-path smoke (DESIGN §5g): a short self-test replay through the
+# sharded pipeline at the default ring depth must lose nothing under the
+# block policy, raise alarms, and (without -race) sustain a conservative
+# throughput floor. The soak variant re-runs the replay until the memory
+# gauges prove a plateau.
+serve-smoke:
+	$(GO) test -run='TestServeSmoke|TestServeSoakMemoryPlateau' -count=1 ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -73,19 +83,19 @@ scale-smoke:
 
 # Machine-readable record of the tier-1 benchmark suite: run the root
 # package benchmarks with -benchmem and parse the output into
-# BENCH_pr9.json (benchmark name -> ns/op, B/op, allocs/op; schema in
-# EXPERIMENTS.md). ASPP_SCALE=1 ungates the 80k sweep benchmark so the
-# committed record carries the Internet-scale entry. The committed file
-# is the baseline future PRs diff against, via `benchjson -diff` or
-# benchstat (see README).
+# BENCH_pr10.json (benchmark name -> ns/op, B/op, allocs/op, plus custom
+# units like p99_ns under "extra"; schema in EXPERIMENTS.md). ASPP_SCALE=1
+# ungates the 80k sweep benchmark so the committed record carries the
+# Internet-scale entry. The committed file is the baseline future PRs
+# diff against, via `benchjson -diff` or benchstat (see README).
 bench-json:
 	ASPP_SCALE=1 $(GO) test -run='^$$' -bench=. -benchmem . > .bench.out.tmp
-	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr9.json
+	$(GO) run ./tools/benchjson < .bench.out.tmp > BENCH_pr10.json
 	@rm -f .bench.out.tmp
-	@echo wrote BENCH_pr9.json
+	@echo wrote BENCH_pr10.json
 
-# Per-benchmark before/after table plus geomean for the PR 9 record
-# (the sharded-sweep and 80k benchmarks are new in PR 9, so they appear
-# only on the "after" side; the shared rows gate against regressions).
+# Per-benchmark before/after table plus geomean for the PR 10 record
+# (the serving-pipeline benchmarks are new in PR 10, so they appear only
+# on the "after" side; the shared rows gate against regressions).
 bench-diff:
-	$(GO) run ./tools/benchjson -diff BENCH_pr8.json BENCH_pr9.json
+	$(GO) run ./tools/benchjson -diff BENCH_pr9.json BENCH_pr10.json

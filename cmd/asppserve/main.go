@@ -1,0 +1,227 @@
+// Command asppserve runs the ASPP-interception detector as a streaming
+// daemon (DESIGN §5g): updates arrive as binary frames over TCP or unix
+// sockets, are sharded by prefix across detector instances, and alarms
+// plus telemetry are exposed over HTTP.
+//
+// Usage:
+//
+//	asppserve -listen :4790 -http :8080 -monitors top40
+//	asppserve -selftest -updates 500000
+//
+// The daemon derives its monitor set and relationship data from a
+// generated topology (the same synthetic Internet the rest of the tool
+// chain uses), so a paired cmd/asppload run against the same -n/-seed
+// speaks the same monitor and prefix universe.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"aspp"
+	"aspp/internal/bgp"
+	"aspp/internal/collector"
+	"aspp/internal/obs"
+	"aspp/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "asppserve: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "asppserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asppserve", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 2000, "topology size backing the monitor set and relationships")
+		seed     = fs.Int64("seed", 1, "topology seed")
+		monSpec  = fs.String("monitors", "top40", "monitor set: topK (by degree) or comma-separated ASNs")
+		shards   = fs.Int("shards", 0, "detector shards (0 = GOMAXPROCS)")
+		depth    = fs.Int("depth", 4096, "per-shard ring depth in updates")
+		batch    = fs.Int("batch", 256, "max updates drained per worker pass")
+		policy   = fs.String("policy", "block", "full-ring policy: block (lossless) or drop (shed)")
+		listen   = fs.String("listen", "", "TCP ingest address (e.g. :4790)")
+		unixSock = fs.String("unix", "", "unix socket ingest path")
+		httpAddr = fs.String("http", "", "HTTP address for /metrics, /alarms, /healthz")
+		selftest = fs.Bool("selftest", false, "replay the churn simulator through the pipeline and report throughput")
+		updates  = fs.Int64("updates", 200_000, "updates to replay in -selftest")
+		events   = fs.Int("events", 60, "churn events behind the -selftest corpus")
+		counters = fs.Bool("counters", false, "print telemetry counters on exit")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pol, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	internet, err := aspp.NewInternet(aspp.WithSize(*n), aspp.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	g := internet.Graph()
+	monitors, err := parseMonitors(*monSpec, g)
+	if err != nil {
+		return err
+	}
+	obsCounters := &obs.Counters{}
+	p, err := serve.NewPipeline(serve.Config{
+		Shards: *shards, Depth: *depth, Batch: *batch, Policy: pol,
+		Monitors: monitors, Rels: g, Counters: obsCounters,
+	})
+	if err != nil {
+		return err
+	}
+	p.Start()
+	defer p.Close()
+	if *counters {
+		defer func() {
+			p.Stats() // records queue-peak and memory gauges into the counters
+			fmt.Fprintf(out, "counters: %s\n", obsCounters.Snapshot())
+		}()
+	}
+
+	if *selftest {
+		return runSelftest(p, internet, monitors, *updates, *events, *seed, obsCounters, out)
+	}
+	if *listen == "" && *unixSock == "" {
+		return errors.New("need -listen, -unix or -selftest (see -h)")
+	}
+
+	fmt.Fprintf(out, "asppserve: %d shards × depth %d, batch %d, policy %s, %d monitors (GOMAXPROCS %d)\n",
+		p.Shards(), *depth, *batch, pol, len(monitors), runtime.GOMAXPROCS(0))
+	errc := make(chan error, 3)
+	var listeners []net.Listener
+	addListener := func(network, addr string) error {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		listeners = append(listeners, l)
+		fmt.Fprintf(out, "asppserve: ingest on %s %s\n", network, l.Addr())
+		go func() { errc <- p.ServeIngest(l) }()
+		return nil
+	}
+	if *listen != "" {
+		if err := addListener("tcp", *listen); err != nil {
+			return err
+		}
+	}
+	if *unixSock != "" {
+		os.Remove(*unixSock) // stale socket from a previous run
+		if err := addListener("unix", *unixSock); err != nil {
+			return err
+		}
+		defer os.Remove(*unixSock)
+	}
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "asppserve: http on %s\n", hl.Addr())
+		httpSrv = &http.Server{Handler: p.Handler()}
+		go func() { errc <- httpSrv.Serve(hl) }()
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+		if httpSrv != nil {
+			httpSrv.Close()
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "asppserve: shutting down")
+		s := p.Stats()
+		fmt.Fprintf(out, "asppserve: processed %d updates, %d alarms, %d dropped, p99 %v\n",
+			s.Processed, s.Alarms, s.Dropped, time.Duration(s.P99Ns))
+		return ctx.Err()
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// runSelftest replays the churn simulator's update corpus through the
+// pipeline at full speed and reports sustained throughput and latency —
+// the same load path make serve-smoke and the benchmarks use.
+func runSelftest(p *serve.Pipeline, internet *aspp.Internet, monitors []bgp.ASN, total int64, events int, seed int64, counters *obs.Counters, out io.Writer) error {
+	g := internet.Graph()
+	origins, err := collector.AssignOrigins(g, collector.DefaultPolicyConfig())
+	if err != nil {
+		return err
+	}
+	evs := collector.PlanChurn(origins, events, seed+1)
+	if len(evs) == 0 {
+		return errors.New("no churn events planned (topology too small?)")
+	}
+	corpus, err := collector.ChurnStream(g, origins, evs, monitors, 0, counters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "selftest: %d-update churn corpus, replaying %d updates through %d shards\n",
+		len(corpus), total, p.Shards())
+	rep, err := p.RunLoad(corpus, total)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "selftest: %d updates in %v = %.0f updates/sec\n",
+		rep.Processed, rep.Elapsed.Round(time.Millisecond), rep.UpdatesPerSec)
+	fmt.Fprintf(out, "selftest: latency p50 %v p99 %v, %d alarms, %d dropped\n",
+		time.Duration(rep.P50Ns), time.Duration(rep.P99Ns), rep.Alarms, rep.Dropped)
+	if rep.Dropped > 0 {
+		return fmt.Errorf("selftest dropped %d updates", rep.Dropped)
+	}
+	return nil
+}
+
+// parseMonitors resolves "topK" (degree-ranked) or an explicit
+// comma-separated ASN list against the generated graph.
+func parseMonitors(spec string, g *aspp.Graph) ([]bgp.ASN, error) {
+	if k, ok := strings.CutPrefix(spec, "top"); ok {
+		kn, err := strconv.Atoi(k)
+		if err == nil && kn > 0 {
+			return g.TopByDegree(kn), nil
+		}
+	}
+	var mons []bgp.ASN
+	for _, f := range strings.Split(spec, ",") {
+		asn, err := bgp.ParseASN(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -monitors %q: %w", spec, err)
+		}
+		mons = append(mons, asn)
+	}
+	if len(mons) == 0 {
+		return nil, errors.New("empty monitor set")
+	}
+	return mons, nil
+}

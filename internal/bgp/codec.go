@@ -38,35 +38,14 @@ const binaryMagic = 0xA5BB
 // ErrBadRecord is wrapped by decode errors caused by malformed input.
 var ErrBadRecord = errors.New("bgp: bad record")
 
-// WriteUpdateBinary appends the binary encoding of u to w.
+// WriteUpdateBinary appends the binary encoding of u to w. Senders on a
+// hot path should prefer AppendUpdateBinary with a reused buffer.
 func WriteUpdateBinary(w io.Writer, u Update) error {
-	if err := u.Validate(); err != nil {
+	buf, err := AppendUpdateBinary(make([]byte, 0, 22+16+4*len(u.Path)), u)
+	if err != nil {
 		return err
 	}
-	addr := u.Prefix.Addr()
-	var raw []byte
-	var family byte
-	if addr.Is4() {
-		b := addr.As4()
-		raw = b[:]
-		family = 4
-	} else {
-		b := addr.As16()
-		raw = b[:]
-		family = 6
-	}
-	buf := make([]byte, 0, 20+len(raw)+4*len(u.Path))
-	buf = binary.BigEndian.AppendUint16(buf, binaryMagic)
-	buf = append(buf, byte(u.Type))
-	buf = binary.BigEndian.AppendUint64(buf, u.Time)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Monitor))
-	buf = append(buf, family, byte(u.Prefix.Bits()))
-	buf = append(buf, raw...)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(u.Path)))
-	for _, a := range u.Path {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(a))
-	}
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -120,6 +99,9 @@ func ReadUpdateBinary(r io.Reader) (Update, error) {
 		return Update{}, fmt.Errorf("%w: path length: %v", ErrBadRecord, err)
 	}
 	n := int(binary.BigEndian.Uint16(cnt[:]))
+	if n > MaxBinaryPathLen {
+		return Update{}, fmt.Errorf("%w: path length %d > %d", ErrFrameTooLarge, n, MaxBinaryPathLen)
+	}
 	if n > 0 {
 		raw := make([]byte, 4*n)
 		if _, err := io.ReadFull(r, raw); err != nil {

@@ -86,6 +86,70 @@ func FuzzPathCodec(f *testing.F) {
 	})
 }
 
+// FuzzStreamDecoder throws arbitrary byte streams at the framed
+// streaming decoder and asserts its hardening contract: every frame
+// either decodes (and must then survive an AppendUpdateBinary →
+// StreamDecoder round trip identically) or fails with io.EOF (clean
+// boundary) or an error wrapping ErrBadRecord — truncations and
+// oversized length prefixes included, since ErrTruncated and
+// ErrFrameTooLarge both wrap it. Nothing may panic or allocate
+// unboundedly: the decoder must refuse a hostile path-length prefix
+// before buffering it.
+//
+// Run with: go test -run=^$ -fuzz=FuzzStreamDecoder -fuzztime=10s ./internal/bgp/
+func FuzzStreamDecoder(f *testing.F) {
+	var stream []byte
+	for _, u := range []Update{
+		{Type: Announce, Time: 7, Monitor: 7018, Prefix: mustPrefix("69.171.224.0/20"),
+			Path: Path{4134, 9318, 32934, 32934}},
+		{Type: Withdraw, Time: 8, Monitor: 4134, Prefix: mustPrefix("10.0.0.0/8")},
+		{Type: Announce, Time: 9, Monitor: 3356, Prefix: mustPrefix("2001:db8::/32"),
+			Path: Path{3356, 100}},
+	} {
+		var err error
+		stream, err = AppendUpdateBinary(stream, u)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream)                  // valid multi-frame stream
+	f.Add(stream[:len(stream)-3]) // truncated mid-frame
+	f.Add(stream[:1])             // truncated mid-magic
+	f.Add([]byte{})
+	f.Add([]byte{0xA5, 0xBB})
+	// Oversized path-length prefix: a valid header claiming 65535 ASNs.
+	over := append([]byte(nil), stream...)
+	over[2+15+4], over[2+15+4+1] = 0xFF, 0xFF // v4 frame: magic(2) fixed(15) addr(4) pathlen(2)
+	f.Add(over)
+	f.Add([]byte("A|12|AS7018|69.171.224.0/20|4134 9318"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewStreamDecoder(bytes.NewReader(data))
+		var u Update
+		for i := 0; i < 1000; i++ {
+			err := dec.Next(&u)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadRecord) {
+					t.Fatalf("stream decode error is neither EOF nor ErrBadRecord: %v", err)
+				}
+				break
+			}
+			if len(u.Path) > MaxBinaryPathLen {
+				t.Fatalf("decoder accepted path of %d ASNs past the cap", len(u.Path))
+			}
+			frame, err := AppendUpdateBinary(nil, u)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v\nupdate: %s", err, u)
+			}
+			var u2 Update
+			if err := NewStreamDecoder(bytes.NewReader(frame)).Next(&u2); err != nil {
+				t.Fatalf("decode of re-encoded frame failed: %v\nupdate: %s", err, u)
+			}
+			assertUpdateEqual(t, "stream", u, u2)
+		}
+	})
+}
+
 func assertUpdateEqual(t *testing.T, codec string, a, b Update) {
 	t.Helper()
 	if a.Type != b.Type || a.Time != b.Time || a.Monitor != b.Monitor ||

@@ -1,0 +1,172 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func streamFixture(t testing.TB) []Update {
+	t.Helper()
+	return []Update{
+		{Type: Announce, Time: 1, Monitor: 7018, Prefix: mustPrefix("69.171.224.0/20"),
+			Path: Path{4134, 9318, 32934, 32934, 32934}},
+		{Type: Withdraw, Time: 2, Monitor: 4134, Prefix: mustPrefix("10.0.0.0/8")},
+		{Type: Announce, Time: 3, Monitor: 3356, Prefix: mustPrefix("2001:db8::/32"),
+			Path: Path{3356, 100}},
+		{Type: Announce, Time: 4, Monitor: 1, Prefix: mustPrefix("192.0.2.0/24"),
+			Path: Path{1}},
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	updates := streamFixture(t)
+	var buf []byte
+	var err error
+	for _, u := range updates {
+		buf, err = AppendUpdateBinary(buf, u)
+		if err != nil {
+			t.Fatalf("AppendUpdateBinary(%s): %v", u, err)
+		}
+	}
+	dec := NewStreamDecoder(bytes.NewReader(buf))
+	var u Update
+	for i, want := range updates {
+		if err := dec.Next(&u); err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		assertUpdateEqual(t, "stream", want, u)
+	}
+	if err := dec.Next(&u); err != io.EOF {
+		t.Fatalf("Next at end = %v, want io.EOF", err)
+	}
+}
+
+// TestStreamMatchesWriteUpdateBinary pins AppendUpdateBinary and the
+// io.Writer encoder to the same wire format, and the stream decoder to
+// the record decoder.
+func TestStreamMatchesWriteUpdateBinary(t *testing.T) {
+	for _, u := range streamFixture(t) {
+		appended, err := AppendUpdateBinary(nil, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w bytes.Buffer
+		if err := WriteUpdateBinary(&w, u); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(appended, w.Bytes()) {
+			t.Fatalf("encoders diverge for %s:\nappend %x\nwrite  %x", u, appended, w.Bytes())
+		}
+		got, err := ReadUpdateBinary(bytes.NewReader(appended))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertUpdateEqual(t, "append→read", u, got)
+	}
+}
+
+func TestStreamTruncation(t *testing.T) {
+	updates := streamFixture(t)[:2]
+	var full []byte
+	var err error
+	for _, u := range updates {
+		full, err = AppendUpdateBinary(full, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	firstLen := 0
+	{
+		b, _ := AppendUpdateBinary(nil, updates[0])
+		firstLen = len(b)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		dec := NewStreamDecoder(bytes.NewReader(full[:cut]))
+		var u Update
+		var lastErr error
+		for lastErr = dec.Next(&u); lastErr == nil; lastErr = dec.Next(&u) {
+		}
+		switch {
+		case cut == 0 || cut == firstLen:
+			// Cut at a frame boundary: a clean end of stream.
+			if lastErr != io.EOF {
+				t.Fatalf("cut %d (boundary): %v, want io.EOF", cut, lastErr)
+			}
+		default:
+			if !errors.Is(lastErr, ErrTruncated) {
+				t.Fatalf("cut %d: %v, want ErrTruncated", cut, lastErr)
+			}
+			if !errors.Is(lastErr, ErrBadRecord) {
+				t.Fatalf("cut %d: ErrTruncated must wrap ErrBadRecord, got %v", cut, lastErr)
+			}
+		}
+	}
+}
+
+func TestStreamOversizedFrame(t *testing.T) {
+	u := streamFixture(t)[0]
+	frame, err := AppendUpdateBinary(nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path-length field is the last 2 bytes of the fixed header,
+	// immediately before the path body. Corrupt it to a huge count.
+	off := len(frame) - 4*len(u.Path) - 2
+	frame[off], frame[off+1] = 0xFF, 0xFF
+	dec := NewStreamDecoder(bytes.NewReader(frame))
+	var got Update
+	err = dec.Next(&got)
+	if !errors.Is(err, ErrFrameTooLarge) || !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooLarge wrapping ErrBadRecord", err)
+	}
+	if _, err := ReadUpdateBinary(bytes.NewReader(frame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadUpdateBinary oversized frame: %v, want ErrFrameTooLarge", err)
+	}
+	// The encoder refuses to build such a frame in the first place.
+	long := Update{Type: Announce, Time: 1, Monitor: 1, Prefix: mustPrefix("10.0.0.0/8"),
+		Path: make(Path, MaxBinaryPathLen+1)}
+	for i := range long.Path {
+		long.Path[i] = ASN(i%100 + 1)
+	}
+	if _, err := AppendUpdateBinary(nil, long); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("AppendUpdateBinary oversized path: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestStreamGarbage(t *testing.T) {
+	dec := NewStreamDecoder(strings.NewReader("definitely not a frame stream at all..."))
+	var u Update
+	err := dec.Next(&u)
+	if err == nil || !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("garbage stream: %v, want ErrBadRecord wrap", err)
+	}
+}
+
+var streamSink Update
+
+// TestStreamDecoderZeroAlloc pins the steady-state decode loop at zero
+// allocations: the decoder's path buffer and the caller's Update are
+// reused across frames.
+func TestStreamDecoderZeroAlloc(t *testing.T) {
+	u := streamFixture(t)[0]
+	frame, err := AppendUpdateBinary(nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 20000
+	buf := bytes.Repeat(frame, frames)
+	dec := NewStreamDecoder(bytes.NewReader(buf))
+	if err := dec.Next(&streamSink); err != nil { // warm the path buffer
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := dec.Next(&streamSink); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warmed Next allocates %.1f objects per frame, want 0", avg)
+	}
+}

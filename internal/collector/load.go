@@ -1,0 +1,103 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+
+	"aspp/internal/bgp"
+	"aspp/internal/obs"
+	"aspp/internal/parallel"
+	"aspp/internal/routing"
+	"aspp/internal/topology"
+)
+
+// Load generation (DESIGN §5g). The churn simulator already models the
+// update traffic the paper's detector would consume in deployment: each
+// churn event fails a backup-provisioned origin's primary upstream and
+// restores it, and every monitor whose best route changes emits an
+// update. ChurnStream materializes that traffic as a replayable corpus —
+// the input for cmd/asppload and the asppserve self-test, and the ≥5k
+// update replay behind the sharded-vs-serial detection differential.
+//
+// The stream interleaves exactly what a detector wants to see: failover
+// transitions announce longer, more-heavily-prepended backup routes
+// (λ up: stored, no alarm), restores announce the shorter primary routes
+// back (λ down: the detection trigger), and monitors that lose the route
+// entirely withdraw. Replaying the corpus cyclically keeps every
+// transition firing on each pass, so sustained load exercises the full
+// detection path rather than a warmed no-op table.
+
+// churnScratch is one worker's propagation state: two Scratches so the
+// steady and failed results of an event are live simultaneously (a
+// Scratch's baseline slot is overwritten by its next PropagateScratch
+// call).
+type churnScratch struct {
+	steady, failed *routing.Scratch
+}
+
+func newChurnScratch() *churnScratch {
+	return &churnScratch{steady: routing.NewScratch(), failed: routing.NewScratch()}
+}
+
+// ChurnStream builds the update stream for a sequence of churn events:
+// per event, the failover transition (steady → primary withheld) followed
+// by the restore transition (back to steady), across every prefix the
+// origin announces. Events are simulated in parallel but the returned
+// stream is in event order with strictly increasing Time stamps, so
+// replays are deterministic. Counters (nil-safe) records the propagation
+// legs and emitted updates.
+func ChurnStream(g *topology.Graph, origins []OriginConfig, events []ChurnEvent, monitors []bgp.ASN, workers int, counters *obs.Counters) ([]bgp.Update, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	byAS := make(map[bgp.ASN]OriginConfig, len(origins))
+	for _, oc := range origins {
+		byAS[oc.AS] = oc
+	}
+	perEvent, err := parallel.MapScratchErr(context.Background(), len(events), workers,
+		newChurnScratch,
+		func(s *churnScratch, i int) ([]bgp.Update, error) {
+			ev := events[i]
+			oc, ok := byAS[ev.Origin]
+			if !ok {
+				return nil, fmt.Errorf("collector: churn event %d references unknown origin %v", i, ev.Origin)
+			}
+			steadyRes, err := routing.PropagateScratch(g, oc.Announcement, s.steady)
+			if err != nil {
+				return nil, fmt.Errorf("collector: steady propagate %v: %w", oc.AS, err)
+			}
+			failedAnn := oc.Announcement
+			failedAnn.Withhold = map[bgp.ASN]bool{ev.Primary: true}
+			failedRes, err := routing.PropagateScratch(g, failedAnn, s.failed)
+			if err != nil {
+				return nil, fmt.Errorf("collector: churn propagate %v: %w", oc.AS, err)
+			}
+			counters.AddBasePropagations(2)
+			var ups []bgp.Update
+			for _, pfx := range oc.Prefixes {
+				fail, err := StreamTransition(steadyRes, failedRes, pfx, monitors, 0)
+				if err != nil {
+					return nil, err
+				}
+				restore, err := StreamTransition(failedRes, steadyRes, pfx, monitors, 0)
+				if err != nil {
+					return nil, err
+				}
+				ups = append(ups, fail...)
+				ups = append(ups, restore...)
+			}
+			return ups, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []bgp.Update
+	for _, ups := range perEvent {
+		out = append(out, ups...)
+	}
+	for i := range out {
+		out[i].Time = uint64(i + 1)
+	}
+	counters.AddChurnUpdates(int64(len(out)))
+	return out, nil
+}

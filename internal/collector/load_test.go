@@ -1,0 +1,100 @@
+package collector
+
+import (
+	"reflect"
+	"testing"
+
+	"aspp/internal/bgp"
+	"aspp/internal/obs"
+	"aspp/internal/topology"
+)
+
+func churnFixture(t *testing.T) (*topologyFixture, []ChurnEvent) {
+	t.Helper()
+	g := surveyGraph(t, 400, 5)
+	origins, err := AssignOrigins(g, DefaultPolicyConfig())
+	if err != nil {
+		t.Fatalf("AssignOrigins: %v", err)
+	}
+	events := PlanChurn(origins, 30, 11)
+	if len(events) == 0 {
+		t.Fatal("no churn events")
+	}
+	return &topologyFixture{g: g, origins: origins, monitors: g.TopByDegree(20)}, events
+}
+
+type topologyFixture struct {
+	g        *topology.Graph
+	origins  []OriginConfig
+	monitors []bgp.ASN
+}
+
+func TestChurnStreamBasics(t *testing.T) {
+	fix, events := churnFixture(t)
+	counters := &obs.Counters{}
+	updates, err := ChurnStream(fix.g, fix.origins, events, fix.monitors, 4, counters)
+	if err != nil {
+		t.Fatalf("ChurnStream: %v", err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("empty stream")
+	}
+	// Timestamps renumbered strictly increasing from 1.
+	for i, u := range updates {
+		if u.Time != uint64(i+1) {
+			t.Fatalf("update %d has Time %d", i, u.Time)
+		}
+		if u.Type == bgp.Announce && len(u.Path) == 0 {
+			t.Fatalf("update %d: announce without a path", i)
+		}
+		if u.Type == bgp.Withdraw && len(u.Path) != 0 {
+			t.Fatalf("update %d: withdraw carries a path", i)
+		}
+	}
+	// Both transition directions present: failovers announce longer
+	// (padded) routes, restores bring the short primaries back.
+	var announces, withdraws int
+	for _, u := range updates {
+		if u.Type == bgp.Announce {
+			announces++
+		} else {
+			withdraws++
+		}
+	}
+	if announces == 0 {
+		t.Fatal("no announcements in churn stream")
+	}
+	cs := counters.Snapshot()
+	if cs.ChurnUpdates != int64(len(updates)) {
+		t.Fatalf("churn_updates counter %d, want %d", cs.ChurnUpdates, len(updates))
+	}
+	if cs.BasePropagations != int64(2*len(events)) {
+		t.Fatalf("prop_base counter %d, want %d", cs.BasePropagations, 2*len(events))
+	}
+}
+
+func TestChurnStreamDeterministic(t *testing.T) {
+	fix, events := churnFixture(t)
+	a, err := ChurnStream(fix.g, fix.origins, events, fix.monitors, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnStream(fix.g, fix.origins, events, fix.monitors, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ChurnStream output depends on worker count")
+	}
+}
+
+func TestChurnStreamErrors(t *testing.T) {
+	fix, _ := churnFixture(t)
+	if got, err := ChurnStream(fix.g, fix.origins, nil, fix.monitors, 4, nil); err != nil || got != nil {
+		t.Fatalf("empty events: %v, %v", got, err)
+	}
+	bad := []ChurnEvent{{Origin: 0xFFFFFF, Primary: 1}}
+	if _, err := ChurnStream(fix.g, fix.origins, bad, fix.monitors, 4, nil); err == nil {
+		t.Fatal("unknown origin accepted")
+	}
+}

@@ -3,6 +3,7 @@ package detect
 import (
 	"net/netip"
 	"sort"
+	"unsafe"
 
 	"aspp/internal/bgp"
 	"aspp/internal/routing"
@@ -39,6 +40,15 @@ type Detector struct {
 
 	wits     []spanRoute         // reusable witness views for Observe
 	liveRefs []*routing.PathSpan // compaction scratch
+
+	// lastPfx/lastSpans memoize the most recent routes-map lookup.
+	// Update streams arrive in same-prefix runs (a transition emits every
+	// changed monitor's update for one prefix back to back), so the batch
+	// path resolves most updates without hashing the prefix again. The
+	// cached slice header stays valid forever: a prefix's span row is
+	// allocated once and never reassigned.
+	lastPfx   netip.Prefix
+	lastSpans []routing.PathSpan
 }
 
 // NewDetector builds a streaming detector for the given vantage points.
@@ -75,27 +85,65 @@ func (d *Detector) Monitors() []bgp.ASN {
 // prefix and transit segment seen before, no alarms — runs
 // allocation-free.
 func (d *Detector) Observe(u bgp.Update) []Alarm {
+	alarms := d.observeOne(&u, nil)
+	d.maybeCompact()
+	return alarms
+}
+
+// ObserveBatch processes updates in order, appending any alarms to dst
+// and returning the extended slice. The verdicts are exactly those of
+// calling Observe per update (the batched-vs-serial differential pins
+// this); the batch form amortizes the two per-update overheads that
+// dominate warmed Observe:
+//
+//   - the routes-map lookup, skipped for same-prefix runs via the
+//     lastPfx memo (transition streams announce one prefix's changes
+//     from every monitor back to back);
+//   - the arena compaction check and the compaction itself, run once
+//     after the batch instead of after every update. Deferring it is
+//     verdict-invariant: Compact moves span bodies but never touches the
+//     interned segment table detection compares against, and the extra
+//     dead arena weight is bounded by one batch's path bytes.
+//
+// A warmed batch over known prefixes and segments appends into dst's
+// spare capacity and is otherwise allocation-free.
+func (d *Detector) ObserveBatch(updates []bgp.Update, dst []Alarm) []Alarm {
+	for i := range updates {
+		dst = d.observeOne(&updates[i], dst)
+	}
+	d.maybeCompact()
+	return dst
+}
+
+// observeOne is the shared per-update core: it stores the route and
+// appends any alarms to dst, leaving compaction to the caller.
+func (d *Detector) observeOne(u *bgp.Update, dst []Alarm) []Alarm {
 	if err := u.Validate(); err != nil {
-		return nil
+		return dst
 	}
 	mi, ok := d.monIdx[u.Monitor]
 	if !ok {
-		return nil
+		return dst
 	}
-	spans := d.routes[u.Prefix]
-	if spans == nil {
-		spans = make([]routing.PathSpan, len(d.monASN))
-		for i := range spans {
-			spans[i].Seg = -1
+	var spans []routing.PathSpan
+	if d.lastSpans != nil && u.Prefix == d.lastPfx {
+		spans = d.lastSpans
+	} else {
+		spans = d.routes[u.Prefix]
+		if spans == nil {
+			spans = make([]routing.PathSpan, len(d.monASN))
+			for i := range spans {
+				spans[i].Seg = -1
+			}
+			d.routes[u.Prefix] = spans
 		}
-		d.routes[u.Prefix] = spans
+		d.lastPfx, d.lastSpans = u.Prefix, spans
 	}
 	prev := spans[mi]
 	if u.Type == bgp.Withdraw {
 		d.live -= int(prev.Len) // empty spans have Len 0
 		spans[mi] = routing.PathSpan{Seg: -1}
-		d.maybeCompact()
-		return nil
+		return dst
 	}
 
 	// Store the new route. Witness transit views read the interned
@@ -105,15 +153,14 @@ func (d *Detector) Observe(u bgp.Update) []Alarm {
 	cur, _ := d.arena.Replace(prev, u.Path)
 	spans[mi] = cur
 	d.live += int(cur.Len) - int(prev.Len)
-	d.maybeCompact()
 
 	if prev.Prep == 0 {
-		return nil // first sight of this prefix from this monitor
+		return dst // first sight of this prefix from this monitor
 	}
 	// DetectChange's early-outs, hoisted so no witness views are built
 	// when the update cannot trigger: same verdicts, less work.
 	if cur.Origin != prev.Origin || int(cur.Prep) >= int(prev.Prep) {
-		return nil
+		return dst
 	}
 
 	d.wits = d.wits[:0]
@@ -137,7 +184,7 @@ func (d *Detector) Observe(u bgp.Update) []Alarm {
 		lambda:  int(cur.Prep),
 		seg:     cur.Seg,
 	}
-	return detectRoutes(u.Monitor, int(prev.Prep), prev.Origin, curView, d.wits, d.rels, nil)
+	return detectRoutes(u.Monitor, int(prev.Prep), prev.Origin, curView, d.wits, d.rels, dst)
 }
 
 // maybeCompact rewrites the arena once abandoned bodies outweigh live
@@ -156,6 +203,24 @@ func (d *Detector) maybeCompact() {
 		}
 	}
 	d.arena.Compact(d.liveRefs)
+}
+
+// MemoryBytes is the detector's resident footprint: the path arena plus
+// the per-prefix span rows (one routing.PathSpan per monitor) and the map
+// bookkeeping holding them. The serve pipeline's soak gate samples this
+// to assert the streaming table plateaus instead of leaking.
+func (d *Detector) MemoryBytes() int64 {
+	if d == nil {
+		return 0
+	}
+	const spanBytes = 16    // sizeof(routing.PathSpan)
+	const mapEntryOver = 48 // estimated per-entry map overhead (key + headers)
+	b := d.arena.MemoryBytes()
+	b += int64(len(d.routes)) * (int64(len(d.monASN))*spanBytes + mapEntryOver)
+	b += int64(cap(d.monASN))*4 + int64(len(d.monIdx))*16
+	b += int64(cap(d.wits)) * int64(unsafe.Sizeof(spanRoute{}))
+	b += int64(cap(d.liveRefs)) * 8
+	return b
 }
 
 // RouteOf returns the detector's current view of monitor's route for a

@@ -1,0 +1,75 @@
+package detect
+
+import (
+	"net/netip"
+
+	"aspp/internal/bgp"
+)
+
+// Pool is a prefix-sharded set of Detectors, the unit the serve pipeline
+// scales across cores. Detection is a per-prefix computation — every
+// witness DetectChange consults holds a route for the SAME prefix — so
+// partitioning the prefix space leaves each shard's verdicts identical to
+// an unsharded detector's (the sharded-vs-serial differential pins this).
+// Each shard is single-goroutine by construction: the pipeline routes a
+// prefix's updates to exactly one shard worker, so shards need no locks.
+type Pool struct {
+	shards []*Detector
+}
+
+// NewPool builds n prefix shards (n < 1 is treated as 1), each a full
+// Detector over the same vantage points and relationship source.
+func NewPool(n int, monitors []bgp.ASN, rels RelQuerier) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*Detector, n)
+	for i := range shards {
+		shards[i] = NewDetector(monitors, rels)
+	}
+	return &Pool{shards: shards}
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i's detector. The caller owns its serialization:
+// concurrent Observe calls on one shard are not safe.
+func (p *Pool) Shard(i int) *Detector { return p.shards[i] }
+
+// ShardOf maps a prefix to its owning shard by FNV-1a over the canonical
+// 16-byte address plus the prefix length — stable across runs and
+// processes (load generators and servers agree), family-agnostic, and
+// spreading dense prefix blocks that a range split would cluster (the
+// collector's synthetic /24s are consecutive).
+func (p *Pool) ShardOf(pfx netip.Prefix) int {
+	return PrefixShard(pfx, len(p.shards))
+}
+
+// PrefixShard is ShardOf for callers that route without a Pool (the
+// serve pipeline's producers hash before touching any detector state).
+func PrefixShard(pfx netip.Prefix, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	a := pfx.Addr().As16()
+	for _, b := range a {
+		h = (h ^ uint64(b)) * prime64
+	}
+	h = (h ^ uint64(uint8(pfx.Bits()))) * prime64
+	return int(h % uint64(n))
+}
+
+// MemoryBytes sums the shards' resident footprints.
+func (p *Pool) MemoryBytes() int64 {
+	var b int64
+	for _, d := range p.shards {
+		b += d.MemoryBytes()
+	}
+	return b
+}

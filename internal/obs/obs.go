@@ -61,6 +61,19 @@ type Counters struct {
 	deltaBatchPropagations lineCounter
 	deltaBatchCalls        lineCounter
 
+	// Serve-pipeline counters (DESIGN §5g): the streaming daemon's ingest
+	// and detection traffic. frames_in counts frames decoded off ingest
+	// sockets; frames_bad counts malformed/oversized/truncated frames
+	// (each ends its connection); serve_enq/serve_drop split the enqueue
+	// verdicts under the drop backpressure policy; serve_batches counts
+	// ObserveBatch drains; alarms counts detection alarms raised.
+	framesIn      lineCounter
+	framesBad     lineCounter
+	serveEnqueued lineCounter
+	serveDropped  lineCounter
+	serveBatches  lineCounter
+	alarmsRaised  lineCounter
+
 	// Byte gauges: high-watermark memory footprints (DESIGN §5f). Unlike
 	// the counters above these are max-merged, not summed — each records
 	// the largest footprint any single recorder observed, so the reported
@@ -70,6 +83,11 @@ type Counters struct {
 	arenaBytes   lineCounter
 	cacheBytes   lineCounter
 	csrBytes     lineCounter
+
+	// queuePeak is the deepest any single serve ingest ring ever got
+	// (max-merged like the byte gauges): the backlog high-watermark the
+	// soak gate asserts stays within the configured depth.
+	queuePeak lineCounter
 }
 
 // AddBasePropagations records n no-attack (baseline) propagations.
@@ -203,6 +221,56 @@ func (c *Counters) RecordCSRBytes(n int64) {
 	}
 }
 
+// AddFramesIn records n binary frames decoded from ingest streams.
+func (c *Counters) AddFramesIn(n int64) {
+	if c != nil {
+		c.framesIn.Add(n)
+	}
+}
+
+// AddFramesBad records n malformed, truncated or oversized ingest frames.
+func (c *Counters) AddFramesBad(n int64) {
+	if c != nil {
+		c.framesBad.Add(n)
+	}
+}
+
+// AddServeEnqueued records n updates accepted into a shard ring.
+func (c *Counters) AddServeEnqueued(n int64) {
+	if c != nil {
+		c.serveEnqueued.Add(n)
+	}
+}
+
+// AddServeDropped records n updates rejected by a full ring under the
+// drop backpressure policy.
+func (c *Counters) AddServeDropped(n int64) {
+	if c != nil {
+		c.serveDropped.Add(n)
+	}
+}
+
+// AddServeBatches records n ObserveBatch queue drains.
+func (c *Counters) AddServeBatches(n int64) {
+	if c != nil {
+		c.serveBatches.Add(n)
+	}
+}
+
+// AddAlarms records n detection alarms raised by the streaming pipeline.
+func (c *Counters) AddAlarms(n int64) {
+	if c != nil {
+		c.alarmsRaised.Add(n)
+	}
+}
+
+// RecordQueuePeak raises the ingest-ring depth high-watermark gauge.
+func (c *Counters) RecordQueuePeak(n int64) {
+	if c != nil {
+		c.queuePeak.recordMax(n)
+	}
+}
+
 // Merge adds o's counts into c (both sides nil-safe). Merging per-sweep
 // counters is deterministic: addition commutes, so any merge order yields
 // the same totals.
@@ -223,6 +291,12 @@ func (c *Counters) Merge(o *Counters) {
 	c.batchCalls.Add(s.BatchCalls)
 	c.deltaBatchPropagations.Add(s.DeltaBatchPropagations)
 	c.deltaBatchCalls.Add(s.DeltaBatchCalls)
+	c.framesIn.Add(s.FramesIn)
+	c.framesBad.Add(s.FramesBad)
+	c.serveEnqueued.Add(s.ServeEnqueued)
+	c.serveDropped.Add(s.ServeDropped)
+	c.serveBatches.Add(s.ServeBatches)
+	c.alarmsRaised.Add(s.Alarms)
 
 	// Gauges are high-watermarks: merging takes the max, so the combined
 	// report still bounds the largest single recorder.
@@ -230,6 +304,7 @@ func (c *Counters) Merge(o *Counters) {
 	c.arenaBytes.recordMax(s.ArenaBytes)
 	c.cacheBytes.recordMax(s.CacheBytes)
 	c.csrBytes.recordMax(s.CSRBytes)
+	c.queuePeak.recordMax(s.QueuePeak)
 }
 
 // Snapshot is a point-in-time copy of a Counters, safe to compare and
@@ -249,10 +324,18 @@ type Snapshot struct {
 	DeltaBatchPropagations int64
 	DeltaBatchCalls        int64
 
+	FramesIn      int64
+	FramesBad     int64
+	ServeEnqueued int64
+	ServeDropped  int64
+	ServeBatches  int64
+	Alarms        int64
+
 	ScratchBytes int64
 	ArenaBytes   int64
 	CacheBytes   int64
 	CSRBytes     int64
+	QueuePeak    int64
 }
 
 // Snapshot reads all counters. A nil receiver yields the zero Snapshot.
@@ -275,10 +358,18 @@ func (c *Counters) Snapshot() Snapshot {
 		DeltaBatchPropagations: c.deltaBatchPropagations.Load(),
 		DeltaBatchCalls:        c.deltaBatchCalls.Load(),
 
+		FramesIn:      c.framesIn.Load(),
+		FramesBad:     c.framesBad.Load(),
+		ServeEnqueued: c.serveEnqueued.Load(),
+		ServeDropped:  c.serveDropped.Load(),
+		ServeBatches:  c.serveBatches.Load(),
+		Alarms:        c.alarmsRaised.Load(),
+
 		ScratchBytes: c.scratchBytes.Load(),
 		ArenaBytes:   c.arenaBytes.Load(),
 		CacheBytes:   c.cacheBytes.Load(),
 		CSRBytes:     c.csrBytes.Load(),
+		QueuePeak:    c.queuePeak.Load(),
 	}
 }
 
@@ -292,13 +383,15 @@ func (s Snapshot) AttackPropagations() int64 {
 // -counters output format).
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d prop_delta_batch=%d delta_batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d scratch_bytes=%d arena_bytes=%d cache_bytes=%d csr_bytes=%d",
+		"prop_base=%d prop_full=%d prop_delta=%d prop_batch=%d batch_calls=%d prop_delta_batch=%d delta_batch_calls=%d cache_hit=%d cache_miss=%d skip_unreachable=%d skip_ineffective=%d churn_updates=%d frames_in=%d frames_bad=%d serve_enq=%d serve_drop=%d serve_batches=%d alarms=%d scratch_bytes=%d arena_bytes=%d cache_bytes=%d csr_bytes=%d queue_peak=%d",
 		s.BasePropagations, s.FullPropagations, s.DeltaPropagations,
 		s.BatchPropagations, s.BatchCalls,
 		s.DeltaBatchPropagations, s.DeltaBatchCalls,
 		s.BaselineHits, s.BaselineMisses,
 		s.SkippedUnreachable, s.SkippedIneffective, s.ChurnUpdates,
-		s.ScratchBytes, s.ArenaBytes, s.CacheBytes, s.CSRBytes)
+		s.FramesIn, s.FramesBad, s.ServeEnqueued, s.ServeDropped,
+		s.ServeBatches, s.Alarms,
+		s.ScratchBytes, s.ArenaBytes, s.CacheBytes, s.CSRBytes, s.QueuePeak)
 }
 
 // String formats the current counts; nil-safe.

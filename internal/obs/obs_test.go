@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -205,4 +207,73 @@ func BenchmarkCountersParallelPacked(b *testing.B) {
 			lane.Add(1)
 		}
 	})
+}
+
+// TestServeCountersSnapshot pins the PR 10 serving counters: each Add
+// lands in its own Snapshot field (distinct primes catch crossed wires),
+// Merge sums the counters and maxes the queue-peak gauge, and the
+// metrics endpoint's single-struct read sees all of them.
+func TestServeCountersSnapshot(t *testing.T) {
+	var a, b Counters
+	a.AddFramesIn(2)
+	a.AddFramesBad(3)
+	a.AddServeEnqueued(5)
+	a.AddServeDropped(7)
+	a.AddServeBatches(11)
+	a.AddAlarms(13)
+	a.RecordQueuePeak(17)
+	got := a.Snapshot()
+	want := Snapshot{
+		FramesIn: 2, FramesBad: 3, ServeEnqueued: 5,
+		ServeDropped: 7, ServeBatches: 11, Alarms: 13, QueuePeak: 17,
+	}
+	if got != want {
+		t.Fatalf("Snapshot()=%+v, want %+v", got, want)
+	}
+	// Peak is a high-watermark: lower records are ignored.
+	a.RecordQueuePeak(4)
+	if a.Snapshot().QueuePeak != 17 {
+		t.Fatalf("QueuePeak lowered to %d", a.Snapshot().QueuePeak)
+	}
+	b.AddFramesIn(100)
+	b.RecordQueuePeak(9)
+	b.Merge(&a)
+	bs := b.Snapshot()
+	if bs.FramesIn != 102 || bs.ServeBatches != 11 || bs.QueuePeak != 17 {
+		t.Fatalf("Merge result %+v", bs)
+	}
+	// Nil safety for the new methods.
+	var nilC *Counters
+	nilC.AddFramesIn(1)
+	nilC.AddFramesBad(1)
+	nilC.AddServeEnqueued(1)
+	nilC.AddServeDropped(1)
+	nilC.AddServeBatches(1)
+	nilC.AddAlarms(1)
+	nilC.RecordQueuePeak(1)
+	// String carries every serve counter name.
+	s := a.String()
+	for _, name := range []string{"frames_in=2", "frames_bad=3", "serve_enq=5", "serve_drop=7", "serve_batches=11", "alarms=13", "queue_peak=17"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("String() missing %q: %s", name, s)
+		}
+	}
+}
+
+// TestSnapshotFieldCount guards Snapshot completeness: a new counter or
+// gauge added to Counters must surface in Snapshot too. Counters carries
+// exactly one padded line or gauge per Snapshot field.
+func TestSnapshotFieldCount(t *testing.T) {
+	snapFields := reflect.TypeOf(Snapshot{}).NumField()
+	var counterSlots int
+	ct := reflect.TypeOf(Counters{})
+	for i := 0; i < ct.NumField(); i++ {
+		switch ct.Field(i).Type.Name() {
+		case "lineCounter", "lineGauge":
+			counterSlots++
+		}
+	}
+	if counterSlots != snapFields {
+		t.Fatalf("Counters has %d counter/gauge slots but Snapshot has %d fields — keep them in lockstep", counterSlots, snapFields)
+	}
 }

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// latencyHist is a lock-free log-linear histogram of nanosecond
+// latencies: 4 sub-buckets per power of two (HDR-style), exact below 16,
+// 256 buckets covering the full int64 range. Resolution is ~25% per
+// bucket — plenty for p50/p99 reporting — and record is one atomic add,
+// cheap enough for the per-update latency path. Writers are the shard
+// workers; readers (the metrics endpoint) see a consistent-enough view
+// since each bucket is independently atomic and counts only grow.
+type latencyHist struct {
+	buckets [256]atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 16 {
+		return int(u)
+	}
+	e := bits.Len64(u) // >= 5
+	return 16 + (e-5)*4 + int((u>>(e-3))&3)
+}
+
+// bucketUpper returns the largest value mapping to bucket idx — the
+// conservative bound quantile reports.
+func bucketUpper(idx int) int64 {
+	if idx < 16 {
+		return int64(idx)
+	}
+	o := (idx-16)/4 + 5
+	if o >= 64 {
+		return math.MaxInt64 // top octave: clamp instead of overflowing
+	}
+	sub := uint64((idx - 16) % 4)
+	lower := uint64(1)<<(o-1) | sub<<(o-3)
+	return int64(lower + 1<<(o-3) - 1)
+}
+
+// record adds one observation.
+func (h *latencyHist) record(ns int64) {
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// count returns the total number of observations.
+func (h *latencyHist) count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded latencies, or 0 when empty.
+func (h *latencyHist) quantile(q float64) int64 {
+	total := h.count()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(h.buckets) - 1)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// smoke test's throughput floor only applies without it.
+const raceEnabled = true

@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspp/internal/bgp"
+	"aspp/internal/detect"
+	"aspp/internal/obs"
+)
+
+// Policy selects what a producer does when a shard ring is full.
+type Policy uint8
+
+const (
+	// Block applies backpressure: the producer yields until a slot frees
+	// (a TCP sender eventually stalls in its socket buffer). No update is
+	// ever lost.
+	Block Policy = iota + 1
+	// Drop sheds load: the update is discarded and counted (serve_drop),
+	// keeping ingest latency flat at the cost of detection coverage.
+	Drop
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses "block" or "drop".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return Drop, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown backpressure policy %q (want block or drop)", s)
+	}
+}
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Shards is the number of detector shards (and rings and workers);
+	// 0 scales to GOMAXPROCS.
+	Shards int
+	// Depth is the per-shard ring capacity in updates (rounded up to a
+	// power of two; default 4096).
+	Depth int
+	// Batch is the maximum updates drained per worker pass (default 256).
+	Batch int
+	// Policy is the full-ring backpressure policy (default Block).
+	Policy Policy
+	// Monitors is the vantage-point set every shard detector watches.
+	Monitors []bgp.ASN
+	// Rels supplies AS relationships to the detection hint rules; nil
+	// restricts detection to high-confidence segment conflicts.
+	Rels detect.RelQuerier
+	// Counters optionally collects pipeline telemetry; nil disables.
+	Counters *obs.Counters
+	// AlarmLog is the capacity of the recent-alarm feed (default 1024).
+	AlarmLog int
+}
+
+// AlarmEvent is one entry of the pipeline's alarm feed: a detection
+// alarm annotated with the prefix whose update triggered it and the
+// enqueue-to-alarm latency of that update.
+type AlarmEvent struct {
+	Seq       int64
+	Time      time.Time
+	Prefix    netip.Prefix
+	Alarm     detect.Alarm
+	LatencyNs int64
+}
+
+// alarmLog is a fixed-capacity overwrite-oldest feed of AlarmEvents.
+type alarmLog struct {
+	mu   sync.Mutex
+	buf  []AlarmEvent
+	next int64 // total events ever published; buf[(next-1) % cap] is newest
+}
+
+func newAlarmLog(capacity int) *alarmLog {
+	return &alarmLog{buf: make([]AlarmEvent, capacity)}
+}
+
+func (l *alarmLog) publish(prefix netip.Prefix, alarms []detect.Alarm, latNs int64) {
+	now := time.Now()
+	l.mu.Lock()
+	for _, a := range alarms {
+		l.buf[l.next%int64(len(l.buf))] = AlarmEvent{
+			Seq: l.next, Time: now, Prefix: prefix, Alarm: a, LatencyNs: latNs,
+		}
+		l.next++
+	}
+	l.mu.Unlock()
+}
+
+// last returns up to n most recent events, oldest first.
+func (l *alarmLog) last(n int) []AlarmEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	have := l.next
+	if have > int64(len(l.buf)) {
+		have = int64(len(l.buf))
+	}
+	if int64(n) > have {
+		n = int(have)
+	}
+	out := make([]AlarmEvent, 0, n)
+	for i := l.next - int64(n); i < l.next; i++ {
+		out = append(out, l.buf[i%int64(len(l.buf))])
+	}
+	return out
+}
+
+// Pipeline is the prefix-sharded streaming detection engine: producers
+// (ingest connections or RunLoad) hash each update's prefix to a shard,
+// push it onto that shard's bounded SPSC ring, and one worker goroutine
+// per shard drains its ring in batches through Detector.ObserveBatch.
+// Detection state never crosses shards, so the workers share nothing but
+// the (read-only) relationship graph and the telemetry sinks.
+type Pipeline struct {
+	cfg   Config
+	pool  *detect.Pool
+	rings []*ring
+	hist  *latencyHist
+	feed  *alarmLog
+	epoch time.Time
+
+	closing atomic.Bool
+	started bool
+	workers sync.WaitGroup
+
+	enqueued  atomic.Int64
+	processed atomic.Int64
+	batches   atomic.Int64
+	alarms    atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[connCloser]struct{}
+}
+
+// connCloser is the slice of net.Conn the pipeline needs for shutdown.
+type connCloser interface{ Close() error }
+
+// NewPipeline validates cfg, applies defaults and builds the shard
+// state. Call Start to launch the workers.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if len(cfg.Monitors) == 0 {
+		return nil, errors.New("serve: no monitors configured")
+	}
+	if cfg.Shards < 0 || cfg.Depth < 0 || cfg.Batch < 0 {
+		return nil, errors.New("serve: negative shard/depth/batch")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4096
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 256
+	}
+	if cfg.Batch > cfg.Depth {
+		return nil, fmt.Errorf("serve: batch %d exceeds ring depth %d", cfg.Batch, cfg.Depth)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = Block
+	}
+	if cfg.Policy != Block && cfg.Policy != Drop {
+		return nil, fmt.Errorf("serve: bad policy %v", cfg.Policy)
+	}
+	if cfg.AlarmLog == 0 {
+		cfg.AlarmLog = 1024
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		pool:  detect.NewPool(cfg.Shards, cfg.Monitors, cfg.Rels),
+		rings: make([]*ring, cfg.Shards),
+		hist:  &latencyHist{},
+		feed:  newAlarmLog(cfg.AlarmLog),
+		epoch: time.Now(),
+		conns: make(map[connCloser]struct{}),
+	}
+	for i := range p.rings {
+		p.rings[i] = newRing(cfg.Depth)
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Pipeline) Shards() int { return len(p.rings) }
+
+// now is the pipeline's monotonic clock: nanoseconds since construction.
+func (p *Pipeline) now() int64 { return int64(time.Since(p.epoch)) }
+
+// Start launches one worker per shard.
+func (p *Pipeline) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.workers.Add(len(p.rings))
+	for i := range p.rings {
+		go p.worker(i)
+	}
+}
+
+// Close stops the pipeline: new pushes are refused, workers drain what
+// remains and exit, and open ingest connections are closed. Idempotent.
+func (p *Pipeline) Close() {
+	p.closing.Store(true)
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	if p.started {
+		p.workers.Wait()
+		p.started = false
+	}
+}
+
+// Enqueue routes one update to its shard ring, stamping the enqueue time
+// itself. This is the multi-producer-safe path (used by ingest
+// connections); it reports whether the update was accepted. RunLoad uses
+// the faster single-producer path internally.
+func (p *Pipeline) Enqueue(u *bgp.Update) bool {
+	shard := detect.PrefixShard(u.Prefix, len(p.rings))
+	ok := p.rings[shard].push(u, p.now(), p.cfg.Policy == Block, p.closing.Load)
+	if ok {
+		p.enqueued.Add(1)
+		p.cfg.Counters.AddServeEnqueued(1)
+	} else if !p.closing.Load() {
+		p.cfg.Counters.AddServeDropped(1)
+	}
+	return ok
+}
+
+// DrainQueues blocks until every ring is empty (all accepted updates
+// processed). Producers must be quiescent for this to terminate.
+func (p *Pipeline) DrainQueues() {
+	for {
+		empty := true
+		for _, r := range p.rings {
+			if r.depth() != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// worker drains shard si's ring: batches are split into same-prefix runs
+// (the natural shape of transition streams) so alarms can be attributed
+// to their prefix, each run flows through ObserveBatch, and
+// enqueue-to-completion latency is recorded per update with one clock
+// read per run. Slots are released (advance) only after the whole batch
+// is processed, since the drained updates alias slot path storage.
+func (p *Pipeline) worker(si int) {
+	defer p.workers.Done()
+	r := p.rings[si]
+	d := p.pool.Shard(si)
+	batch := make([]bgp.Update, p.cfg.Batch)
+	enq := make([]int64, p.cfg.Batch)
+	alarms := make([]detect.Alarm, 0, 16)
+	idle := 0
+	for {
+		n := r.drain(batch, enq)
+		if n == 0 {
+			if p.closing.Load() && r.depth() == 0 {
+				return
+			}
+			idle++
+			if idle > 2048 {
+				time.Sleep(100 * time.Microsecond) // daemon idle: stop burning the core
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && batch[j].Prefix == batch[i].Prefix {
+				j++
+			}
+			alarms = d.ObserveBatch(batch[i:j], alarms[:0])
+			done := p.now()
+			for k := i; k < j; k++ {
+				p.hist.record(done - enq[k])
+			}
+			if len(alarms) > 0 {
+				p.alarms.Add(int64(len(alarms)))
+				p.cfg.Counters.AddAlarms(int64(len(alarms)))
+				p.feed.publish(batch[i].Prefix, alarms, done-enq[j-1])
+			}
+			i = j
+		}
+		r.advance(n)
+		p.processed.Add(int64(n))
+		p.batches.Add(1)
+		p.cfg.Counters.AddServeBatches(1)
+	}
+}
+
+// Stats is a point-in-time view of the pipeline, also pushed into the
+// obs gauges so -counters output and /metrics agree.
+type Stats struct {
+	Shards, Depth                                  int
+	Enqueued, Processed, Dropped, Alarms, Batches  int64
+	QueuePeak, QueueDepth, P50Ns, P99Ns, MemoryBytes int64
+	Uptime                                         time.Duration
+}
+
+// Stats snapshots the pipeline counters, latency quantiles and memory
+// footprint, recording the high-watermark gauges as a side effect.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{
+		Shards:    len(p.rings),
+		Depth:     p.cfg.Depth,
+		Enqueued:  p.enqueued.Load(),
+		Processed: p.processed.Load(),
+		Alarms:    p.alarms.Load(),
+		Batches:   p.batches.Load(),
+		P50Ns:     p.hist.quantile(0.50),
+		P99Ns:     p.hist.quantile(0.99),
+		Uptime:    time.Since(p.epoch),
+	}
+	var arenaPeak int64
+	for _, r := range p.rings {
+		s.Dropped += r.drops.Load()
+		s.QueueDepth += r.depth()
+		if pk := r.peak.Load(); pk > s.QueuePeak {
+			s.QueuePeak = pk
+		}
+	}
+	for i := 0; i < p.pool.NumShards(); i++ {
+		b := p.pool.Shard(i).MemoryBytes()
+		s.MemoryBytes += b
+		if b > arenaPeak {
+			arenaPeak = b
+		}
+	}
+	for _, r := range p.rings {
+		s.MemoryBytes += int64(r.capacity()) * 64 // slot headers; path bodies counted via detectors
+	}
+	p.cfg.Counters.RecordQueuePeak(s.QueuePeak)
+	p.cfg.Counters.RecordArenaBytes(arenaPeak)
+	return s
+}
+
+// Alarms returns up to n most recent alarm events, oldest first.
+func (p *Pipeline) Alarms(n int) []AlarmEvent { return p.feed.last(n) }
+
+// MemoryBytes is the live resident footprint of the detection state —
+// the quantity the soak gate asserts plateaus.
+func (p *Pipeline) MemoryBytes() int64 { return p.pool.MemoryBytes() }
+
+// LoadReport summarizes one RunLoad execution.
+type LoadReport struct {
+	// Offered is the number of updates pushed at the rings; Accepted
+	// excludes drop-policy rejections; Processed went through detection.
+	Offered, Accepted, Dropped, Processed int64
+	// Alarms is the pipeline-lifetime alarm total after the run.
+	Alarms int64
+	// Elapsed covers first push to final drain; UpdatesPerSec is
+	// Processed over Elapsed.
+	Elapsed       time.Duration
+	UpdatesPerSec float64
+	// P50Ns/P99Ns are enqueue-to-alarm latency quantiles over the
+	// pipeline's lifetime histogram.
+	P50Ns, P99Ns int64
+}
+
+// RunLoad replays corpus cyclically through the pipeline until total
+// updates have been offered, using one producer goroutine per shard
+// (the lock-free SPSC path): the corpus is partitioned by prefix shard
+// up front and each producer owns exactly one ring. Returns after every
+// accepted update has been processed. Not safe to run concurrently with
+// itself or with socket ingest (both would break the single-producer
+// contract); the daemon uses sockets, the self-test and benchmarks use
+// RunLoad.
+func (p *Pipeline) RunLoad(corpus []bgp.Update, total int64) (LoadReport, error) {
+	if !p.started {
+		return LoadReport{}, errors.New("serve: pipeline not started")
+	}
+	if len(corpus) == 0 || total <= 0 {
+		return LoadReport{}, errors.New("serve: empty load corpus")
+	}
+	parts := make([][]bgp.Update, len(p.rings))
+	for _, u := range corpus {
+		si := detect.PrefixShard(u.Prefix, len(p.rings))
+		parts[si] = append(parts[si], u)
+	}
+	// Per-shard quotas proportional to corpus share; remainder to the
+	// first non-empty shard so the offered total is exact.
+	quotas := make([]int64, len(parts))
+	var assigned int64
+	for i, part := range parts {
+		quotas[i] = total * int64(len(part)) / int64(len(corpus))
+		assigned += quotas[i]
+	}
+	for i, part := range parts {
+		if len(part) > 0 {
+			quotas[i] += total - assigned
+			break
+		}
+	}
+
+	block := p.cfg.Policy == Block
+	startProcessed := p.processed.Load()
+	start := time.Now()
+	var wg sync.WaitGroup
+	var accepted, offered atomic.Int64
+	for si := range parts {
+		if quotas[si] <= 0 || len(parts[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, part []bgp.Update, quota int64) {
+			defer wg.Done()
+			r := p.rings[si]
+			now := p.now()
+			var acc, off int64
+			for k := int64(0); k < quota; k++ {
+				if k&31 == 0 {
+					now = p.now() // refresh the enqueue stamp every 32 pushes
+				}
+				off++
+				if r.pushLocal(&part[k%int64(len(part))], now, block, p.closing.Load) {
+					acc++
+				} else if p.closing.Load() {
+					break
+				}
+			}
+			accepted.Add(acc)
+			offered.Add(off)
+			p.enqueued.Add(acc)
+			p.cfg.Counters.AddServeEnqueued(acc)
+			p.cfg.Counters.AddServeDropped(off - acc)
+		}(si, parts[si], quotas[si])
+	}
+	wg.Wait()
+	p.DrainQueues()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{
+		Offered:   offered.Load(),
+		Accepted:  accepted.Load(),
+		Processed: p.processed.Load() - startProcessed,
+		Alarms:    p.alarms.Load(),
+		Elapsed:   elapsed,
+		P50Ns:     p.hist.quantile(0.50),
+		P99Ns:     p.hist.quantile(0.99),
+	}
+	for _, r := range p.rings {
+		rep.Dropped += r.drops.Load()
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.UpdatesPerSec = float64(rep.Processed) / sec
+	}
+	return rep, nil
+}

@@ -1,0 +1,479 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aspp/internal/bgp"
+	"aspp/internal/collector"
+	"aspp/internal/detect"
+	"aspp/internal/obs"
+	"aspp/internal/topology"
+)
+
+// loadCorpus builds a churn replay corpus plus the monitor set and graph
+// backing it — the pipeline's canonical input.
+func loadCorpus(t testing.TB, nAS int, seed int64, nMon, events int) ([]bgp.Update, []bgp.ASN, *topology.Graph) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig(nAS)
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	origins, err := collector.AssignOrigins(g, collector.DefaultPolicyConfig())
+	if err != nil {
+		t.Fatalf("AssignOrigins: %v", err)
+	}
+	monitors := g.TopByDegree(nMon)
+	evs := collector.PlanChurn(origins, events, seed+1)
+	if len(evs) == 0 {
+		t.Fatal("no churn events")
+	}
+	updates, err := collector.ChurnStream(g, origins, evs, monitors, 4, nil)
+	if err != nil {
+		t.Fatalf("ChurnStream: %v", err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("empty churn corpus")
+	}
+	return updates, monitors, g
+}
+
+func testUpdate(i int) bgp.Update {
+	return bgp.Update{
+		Time:    uint64(i + 1),
+		Monitor: bgp.ASN(100 + i%3),
+		Type:    bgp.Announce,
+		Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24),
+		Path:    bgp.Path{bgp.ASN(100 + i%3), 42, bgp.ASN(7 + i%5)},
+	}
+}
+
+func TestRingPushDrainWrap(t *testing.T) {
+	r := newRing(5) // rounds to 8
+	if r.capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", r.capacity())
+	}
+	batch := make([]bgp.Update, 8)
+	enq := make([]int64, 8)
+	// Three full cycles to exercise cursor wrap.
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 8; i++ {
+			u := testUpdate(cycle*8 + i)
+			if !r.pushLocal(&u, int64(i), true, nil) {
+				t.Fatalf("cycle %d push %d refused", cycle, i)
+			}
+		}
+		if r.depth() != 8 {
+			t.Fatalf("depth = %d, want 8", r.depth())
+		}
+		n := r.drain(batch, enq)
+		if n != 8 {
+			t.Fatalf("drain = %d, want 8", n)
+		}
+		for i := 0; i < 8; i++ {
+			want := testUpdate(cycle*8 + i)
+			if batch[i].Prefix != want.Prefix || !batch[i].Path.Equal(want.Path) || enq[i] != int64(i) {
+				t.Fatalf("cycle %d slot %d: got %+v enq %d", cycle, i, batch[i], enq[i])
+			}
+		}
+		r.advance(n)
+	}
+	if r.depth() != 0 {
+		t.Fatalf("depth after drain = %d, want 0", r.depth())
+	}
+	if r.peak.Load() != 8 {
+		t.Fatalf("peak = %d, want 8", r.peak.Load())
+	}
+}
+
+func TestRingDropPolicy(t *testing.T) {
+	r := newRing(2)
+	u := testUpdate(0)
+	if !r.pushLocal(&u, 0, false, nil) || !r.pushLocal(&u, 0, false, nil) {
+		t.Fatal("pushes into empty ring refused")
+	}
+	for i := 0; i < 3; i++ {
+		if r.pushLocal(&u, 0, false, nil) {
+			t.Fatal("push into full ring accepted under drop policy")
+		}
+	}
+	if r.drops.Load() != 3 {
+		t.Fatalf("drops = %d, want 3", r.drops.Load())
+	}
+}
+
+func TestRingBlockPolicyUnblocks(t *testing.T) {
+	r := newRing(2)
+	u := testUpdate(0)
+	r.pushLocal(&u, 0, true, nil)
+	r.pushLocal(&u, 0, true, nil)
+	done := make(chan bool, 1)
+	go func() {
+		v := testUpdate(9)
+		done <- r.pushLocal(&v, 7, true, nil)
+	}()
+	time.Sleep(5 * time.Millisecond) // producer should be spinning now
+	select {
+	case <-done:
+		t.Fatal("blocked push returned before a slot freed")
+	default:
+	}
+	batch := make([]bgp.Update, 1)
+	enq := make([]int64, 1)
+	r.drain(batch, enq)
+	r.advance(1)
+	if ok := <-done; !ok {
+		t.Fatal("push failed after slot freed")
+	}
+	if r.drops.Load() != 0 {
+		t.Fatalf("drops = %d under block policy, want 0", r.drops.Load())
+	}
+}
+
+func TestRingBlockPolicyStops(t *testing.T) {
+	r := newRing(2)
+	u := testUpdate(0)
+	r.pushLocal(&u, 0, true, nil)
+	r.pushLocal(&u, 0, true, nil)
+	var stopped atomic.Bool
+	done := make(chan bool, 1)
+	go func() { v := testUpdate(1); done <- r.pushLocal(&v, 0, true, stopped.Load) }()
+	time.Sleep(2 * time.Millisecond)
+	stopped.Store(true)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped push reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked push ignored stop")
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	// Round-trip property: every value is bounded by its bucket's upper.
+	for _, v := range []int64{0, 1, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1 << 40, 1<<62 + 12345} {
+		idx := bucketOf(v)
+		if up := bucketUpper(idx); v > up {
+			t.Fatalf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
+		}
+		// Bounded relative error above the exact range: upper ≤ 1.5×v.
+		if v >= 16 {
+			if up := bucketUpper(idx); float64(up) > 1.5*float64(v) {
+				t.Fatalf("bucket upper %d too loose for %d", up, v)
+			}
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative latency should clamp to bucket 0")
+	}
+
+	var h latencyHist
+	for i := 0; i < 99; i++ {
+		h.record(1000)
+	}
+	h.record(1 << 30)
+	if got := h.count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.quantile(0.50)
+	if p50 < 1000 || p50 > 1500 {
+		t.Fatalf("p50 = %d, want ~1000", p50)
+	}
+	p999 := h.quantile(0.999)
+	if p999 < 1<<30 {
+		t.Fatalf("p99.9 = %d, want ≥ 2^30", p999)
+	}
+	var empty latencyHist
+	if empty.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	mons := []bgp.ASN{1}
+	cases := []Config{
+		{},                                     // no monitors
+		{Monitors: mons, Shards: -1},           // negative
+		{Monitors: mons, Depth: 8, Batch: 64},  // batch > depth
+		{Monitors: mons, Policy: Policy(9)},    // bad policy
+	}
+	for i, cfg := range cases {
+		if _, err := NewPipeline(cfg); err == nil {
+			t.Errorf("case %d: NewPipeline(%+v) accepted invalid config", i, cfg)
+		}
+	}
+	p, err := NewPipeline(Config{Monitors: mons})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if p.Shards() < 1 || p.cfg.Depth != 4096 || p.cfg.Batch != 256 || p.cfg.Policy != Block {
+		t.Fatalf("defaults wrong: %d shards, depth %d, batch %d, policy %v",
+			p.Shards(), p.cfg.Depth, p.cfg.Batch, p.cfg.Policy)
+	}
+	if _, err := ParsePolicy("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+// TestServeSmoke is the make serve-smoke gate: a short self-test load at
+// the default ring depth under the block policy must lose nothing, alarm
+// at least once, and (race detector off) sustain a minimum throughput.
+func TestServeSmoke(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 800, 42, 30, 60)
+	counters := &obs.Counters{}
+	p, err := NewPipeline(Config{
+		Shards: 2, Monitors: monitors, Rels: g, Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+
+	total := int64(200_000)
+	if testing.Short() {
+		total = 20_000
+	}
+	rep, err := p.RunLoad(updates, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serve-smoke: %d updates in %v (%.0f/s), p50 %dns p99 %dns, %d alarms",
+		rep.Processed, rep.Elapsed.Round(time.Millisecond), rep.UpdatesPerSec, rep.P50Ns, rep.P99Ns, rep.Alarms)
+
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped %d updates under block policy", rep.Dropped)
+	}
+	if rep.Accepted != total || rep.Processed != total {
+		t.Fatalf("accepted %d processed %d, want %d", rep.Accepted, rep.Processed, total)
+	}
+	if rep.Alarms == 0 {
+		t.Fatal("replay raised no alarms — load corpus not exercising detection")
+	}
+	if rep.P99Ns <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	const floor = 100_000 // updates/sec; conservative vs the ~1M/s benchmark
+	if !raceEnabled && rep.UpdatesPerSec < floor {
+		t.Errorf("throughput %.0f updates/s below smoke floor %d", rep.UpdatesPerSec, floor)
+	}
+	s := p.Stats()
+	if s.Processed != total || s.Dropped != 0 || s.QueuePeak == 0 || s.MemoryBytes <= 0 {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+	cs := counters.Snapshot()
+	if cs.ServeEnqueued != total || cs.ServeBatches == 0 || cs.Alarms != rep.Alarms {
+		t.Fatalf("obs counters inconsistent: %+v", cs)
+	}
+}
+
+func TestPipelineDropPolicy(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 7, 20, 30)
+	p, err := NewPipeline(Config{
+		Shards: 1, Depth: 16, Batch: 8, Policy: Drop, Monitors: monitors, Rels: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	rep, err := p.RunLoad(updates, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted+rep.Dropped != rep.Offered {
+		t.Fatalf("accepted %d + dropped %d != offered %d", rep.Accepted, rep.Dropped, rep.Offered)
+	}
+	if rep.Processed != rep.Accepted {
+		t.Fatalf("processed %d != accepted %d", rep.Processed, rep.Accepted)
+	}
+	// A 16-deep ring against a full-speed producer must shed something;
+	// if this ever fails the consumer outran a memcpy loop, which means
+	// the clock is broken, not the pipeline.
+	if rep.Dropped == 0 {
+		t.Log("warning: no drops at depth 16 — unexpectedly fast consumer")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 13, 20, 30)
+	counters := &obs.Counters{}
+	p, err := NewPipeline(Config{Shards: 2, Monitors: monitors, Rels: g, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	if _, err := p.RunLoad(updates, int64(len(updates))); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, name := range []string{
+		"aspp_serve_shards 2", "aspp_serve_processed_total", "aspp_serve_dropped_total 0",
+		"aspp_serve_latency_p99_ns", "aspp_serve_queue_peak", "aspp_serve_memory_bytes",
+		"aspp_frames_in_total", "aspp_arena_bytes",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q\n%s", name, body)
+		}
+	}
+
+	var events []alarmJSON
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/alarms")), &events); err != nil {
+		t.Fatalf("/alarms not JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("/alarms empty after a churn replay")
+	}
+	last := events[len(events)-1]
+	if last.Prefix == "" || last.Confidence == "" || last.LatencyNs <= 0 {
+		t.Fatalf("alarm event incomplete: %+v", last)
+	}
+	var two []alarmJSON
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/alarms?n=2")), &two); err != nil || len(two) > 2 {
+		t.Fatalf("/alarms?n=2 returned %d events (err %v)", len(two), err)
+	}
+	if got := httpGet(t, srv.URL+"/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz = %q", got)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestIngestTCP drives the daemon path end to end: frames over a real
+// TCP connection, through the stream decoder, shard rings, and workers.
+func TestIngestTCP(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 19, 20, 30)
+	counters := &obs.Counters{}
+	p, err := NewPipeline(Config{Shards: 2, Monitors: monitors, Rels: g, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.ServeIngest(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for _, u := range updates {
+		buf, err = bgp.AppendUpdateBinary(buf, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	want := int64(len(updates))
+	deadline := time.Now().Add(10 * time.Second)
+	for p.processed.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed %d of %d updates before timeout", p.processed.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cs := counters.Snapshot()
+	if cs.FramesIn != want || cs.FramesBad != 0 {
+		t.Fatalf("frames_in %d frames_bad %d, want %d / 0", cs.FramesIn, cs.FramesBad, want)
+	}
+	if p.Stats().Alarms == 0 {
+		t.Fatal("no alarms from the TCP replay")
+	}
+
+	// A poisoned stream is counted and the connection torn down.
+	bad, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Write([]byte("this is not a frame, not even close........"))
+	readDone := make(chan struct{})
+	go func() { // server should close on us
+		one := make([]byte, 1)
+		bad.Read(one)
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not close a poisoned connection")
+	}
+	bad.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for counters.Snapshot().FramesBad == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bad frame never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	l.Close()
+	p.Close()
+	wg.Wait()
+}
+
+func TestAlarmLogOverwrite(t *testing.T) {
+	l := newAlarmLog(4)
+	pfx := netip.MustParsePrefix("10.0.0.0/24")
+	for i := 0; i < 10; i++ {
+		l.publish(pfx, []detect.Alarm{{Monitor: bgp.ASN(i)}}, int64(i))
+	}
+	got := l.last(100)
+	if len(got) != 4 {
+		t.Fatalf("last(100) = %d events, want 4 (capacity)", len(got))
+	}
+	for i, ev := range got {
+		wantSeq := int64(6 + i) // events 6..9 survive, oldest first
+		if ev.Seq != wantSeq || ev.Alarm.Monitor != bgp.ASN(wantSeq) || ev.Prefix != pfx {
+			t.Fatalf("event %d: %+v, want seq %d", i, ev, wantSeq)
+		}
+	}
+	if n := len(l.last(2)); n != 2 {
+		t.Fatalf("last(2) = %d events", n)
+	}
+}

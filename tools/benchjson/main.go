@@ -34,11 +34,15 @@ import (
 
 // metrics is one benchmark's record. B/op and allocs/op are -1 when the
 // benchmark did not report memory (no -benchmem and no b.ReportAllocs), so
-// "didn't measure" is distinguishable from "measured zero".
+// "didn't measure" is distinguishable from "measured zero". Extra holds
+// custom b.ReportMetric units (e.g. p99_ns, updates/sec) keyed by unit
+// name; Go's map marshaling sorts keys, so the committed JSON stays
+// deterministic.
 type metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -245,6 +249,17 @@ func parseLine(line string) (string, metrics, bool) {
 				return "", metrics{}, false
 			}
 			m.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units (p99_ns, updates/sec, MB/s…):
+			// recorded verbatim under the unit name.
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue // not a value/unit pair; skip
+			}
+			if m.Extra == nil {
+				m.Extra = make(map[string]float64)
+			}
+			m.Extra[unit] = f
 		}
 	}
 	return name, m, seenNs

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,16 @@ func TestParseLine(t *testing.T) {
 			m:    metrics{NsPerOp: 791284, BytesPerOp: 12, AllocsPerOp: 1},
 			ok:   true,
 		},
+		{
+			// Custom b.ReportMetric units land in Extra under their unit
+			// name (the PR 10 serving benchmarks report p99_ns and
+			// updates/sec alongside the standard triplet).
+			line: "BenchmarkServeThroughput/shards=2-8  3128575  804.8 ns/op  8388607 p99_ns  1243289 updates/sec  0 B/op  0 allocs/op",
+			name: "ServeThroughput/shards=2",
+			m: metrics{NsPerOp: 804.8, BytesPerOp: 0, AllocsPerOp: 0,
+				Extra: map[string]float64{"p99_ns": 8388607, "updates/sec": 1243289}},
+			ok: true,
+		},
 		{line: "PASS", ok: false},
 		{line: "ok  \taspp\t42.1s", ok: false},
 		{line: "BenchmarkBroken-4 garbage", ok: false},
@@ -47,7 +58,7 @@ func TestParseLine(t *testing.T) {
 		if !ok {
 			continue
 		}
-		if name != c.name || m != c.m {
+		if name != c.name || !reflect.DeepEqual(m, c.m) {
 			t.Errorf("parseLine(%q) = %q %+v, want %q %+v", c.line, name, m, c.name, c.m)
 		}
 	}
