@@ -30,6 +30,10 @@ func (p *Pipeline) ServeIngest(l net.Listener) error {
 			return nil
 		}
 		p.conns[c] = struct{}{}
+		// Register under connMu: Close sets closing before taking the
+		// lock, so it always waits for this producer (or we saw closing
+		// and never registered).
+		p.producers.Add(1)
 		p.connMu.Unlock()
 		go p.handleConn(c)
 	}
@@ -43,6 +47,7 @@ func (p *Pipeline) ServeIngest(l net.Listener) error {
 // connection: framing is lost, so the stream cannot be resynchronized and
 // the connection is closed.
 func (p *Pipeline) handleConn(c net.Conn) {
+	defer p.producers.Done() // last: after the flush below lands counters
 	defer func() {
 		c.Close()
 		p.connMu.Lock()

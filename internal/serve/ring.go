@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"aspp/internal/bgp"
 )
@@ -66,6 +67,14 @@ func newRing(depth int) *ring {
 
 // cap returns the ring's slot count.
 func (r *ring) capacity() int { return len(r.slots) }
+
+// memoryBytes is the slot array's static footprint (update header plus
+// enqueue stamp per slot). Slot-owned path bodies grow with traffic and
+// are not counted: they are producer/consumer-shared storage a foreign
+// reader cannot size safely.
+func (r *ring) memoryBytes() int64 {
+	return int64(len(r.slots)) * int64(unsafe.Sizeof(slot{}))
+}
 
 // depth returns the current occupancy (approximate under concurrency).
 func (r *ring) depth() int64 { return int64(r.tail.Load() - r.head.Load()) }

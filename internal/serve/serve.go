@@ -140,9 +140,20 @@ type Pipeline struct {
 	feed  *alarmLog
 	epoch time.Time
 
-	closing atomic.Bool
-	started bool
-	workers sync.WaitGroup
+	// shardMem holds each shard detector's MemoryBytes as published by
+	// its worker (every memPubBatches batches, on idle transitions, and
+	// at worker exit). Stats and MemoryBytes read these instead of the
+	// detectors themselves: detector internals (the routes map, the
+	// arena's intern index) are worker-owned and unsynchronized, so a
+	// foreign reader — the HTTP /metrics handler — must never touch them
+	// while workers run.
+	shardMem []atomic.Int64
+
+	closing     atomic.Bool // producers refuse new work, blocked pushes bail
+	stopWorkers atomic.Bool // set once producers quiesced; workers may drain and exit
+	started     bool
+	workers     sync.WaitGroup
+	producers   sync.WaitGroup // live producer goroutines (handleConn, RunLoad)
 
 	enqueued  atomic.Int64
 	processed atomic.Int64
@@ -162,8 +173,8 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if len(cfg.Monitors) == 0 {
 		return nil, errors.New("serve: no monitors configured")
 	}
-	if cfg.Shards < 0 || cfg.Depth < 0 || cfg.Batch < 0 {
-		return nil, errors.New("serve: negative shard/depth/batch")
+	if cfg.Shards < 0 || cfg.Depth < 0 || cfg.Batch < 0 || cfg.AlarmLog < 0 {
+		return nil, errors.New("serve: negative shard/depth/batch/alarmlog")
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -198,6 +209,10 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	for i := range p.rings {
 		p.rings[i] = newRing(cfg.Depth)
 	}
+	p.shardMem = make([]atomic.Int64, cfg.Shards)
+	for i := range p.shardMem {
+		p.shardMem[i].Store(p.pool.Shard(i).MemoryBytes()) // baseline before workers exist
+	}
 	return p, nil
 }
 
@@ -219,8 +234,14 @@ func (p *Pipeline) Start() {
 	}
 }
 
-// Close stops the pipeline: new pushes are refused, workers drain what
-// remains and exit, and open ingest connections are closed. Idempotent.
+// Close stops the pipeline in two phases: first producers are quiesced —
+// new ones are refused, blocked pushes bail, open ingest connections are
+// closed, and Close waits for every producer goroutine to return — and
+// only then are workers told they may exit once their ring is empty.
+// That ordering upholds the Block policy's no-loss contract: a producer
+// that found ring space just before Close cannot land an update after
+// its worker has exited, so every accepted update is processed.
+// Idempotent.
 func (p *Pipeline) Close() {
 	p.closing.Store(true)
 	p.connMu.Lock()
@@ -228,6 +249,8 @@ func (p *Pipeline) Close() {
 		c.Close()
 	}
 	p.connMu.Unlock()
+	p.producers.Wait()
+	p.stopWorkers.Store(true)
 	if p.started {
 		p.workers.Wait()
 		p.started = false
@@ -235,10 +258,16 @@ func (p *Pipeline) Close() {
 }
 
 // Enqueue routes one update to its shard ring, stamping the enqueue time
-// itself. This is the multi-producer-safe path (used by ingest
-// connections); it reports whether the update was accepted. RunLoad uses
-// the faster single-producer path internally.
+// itself. This is the multi-producer-safe path; it reports whether the
+// update was accepted. External callers must quiesce before Close — an
+// Enqueue racing Close may land an update no worker processes. The
+// pipeline's own producers (ingest connections, RunLoad) register with
+// the shutdown handshake instead. RunLoad uses the faster
+// single-producer path internally.
 func (p *Pipeline) Enqueue(u *bgp.Update) bool {
+	if p.closing.Load() {
+		return false
+	}
 	shard := detect.PrefixShard(u.Prefix, len(p.rings))
 	ok := p.rings[shard].push(u, p.now(), p.cfg.Policy == Block, p.closing.Load)
 	if ok {
@@ -268,6 +297,12 @@ func (p *Pipeline) DrainQueues() {
 	}
 }
 
+// memPubBatches is how many batches a worker processes between refreshes
+// of its published memory gauge: Detector.MemoryBytes walks the arena's
+// intern index, too costly per batch at line rate. Idle transitions and
+// worker exit also refresh, so a quiescent pipeline always reads current.
+const memPubBatches = 32
+
 // worker drains shard si's ring: batches are split into same-prefix runs
 // (the natural shape of transition streams) so alarms can be attributed
 // to their prefix, each run flows through ObserveBatch, and
@@ -278,14 +313,20 @@ func (p *Pipeline) worker(si int) {
 	defer p.workers.Done()
 	r := p.rings[si]
 	d := p.pool.Shard(si)
+	defer func() { p.shardMem[si].Store(d.MemoryBytes()) }()
 	batch := make([]bgp.Update, p.cfg.Batch)
 	enq := make([]int64, p.cfg.Batch)
 	alarms := make([]detect.Alarm, 0, 16)
 	idle := 0
+	sincePub := 0
 	for {
 		n := r.drain(batch, enq)
 		if n == 0 {
-			if p.closing.Load() && r.depth() == 0 {
+			if sincePub > 0 {
+				p.shardMem[si].Store(d.MemoryBytes()) // going idle: publish what the burst built
+				sincePub = 0
+			}
+			if p.stopWorkers.Load() && r.depth() == 0 {
 				return
 			}
 			idle++
@@ -318,6 +359,10 @@ func (p *Pipeline) worker(si int) {
 		p.processed.Add(int64(n))
 		p.batches.Add(1)
 		p.cfg.Counters.AddServeBatches(1)
+		if sincePub++; sincePub >= memPubBatches {
+			p.shardMem[si].Store(d.MemoryBytes())
+			sincePub = 0
+		}
 	}
 }
 
@@ -351,16 +396,17 @@ func (p *Pipeline) Stats() Stats {
 		if pk := r.peak.Load(); pk > s.QueuePeak {
 			s.QueuePeak = pk
 		}
+		s.MemoryBytes += r.memoryBytes() // slot headers; slot-owned path bodies excluded
 	}
-	for i := 0; i < p.pool.NumShards(); i++ {
-		b := p.pool.Shard(i).MemoryBytes()
+	// Detector footprints come from the worker-published gauges, never
+	// the detectors themselves: Stats runs on foreign goroutines (the
+	// /metrics handler) while workers mutate detector state.
+	for i := range p.shardMem {
+		b := p.shardMem[i].Load()
 		s.MemoryBytes += b
 		if b > arenaPeak {
 			arenaPeak = b
 		}
-	}
-	for _, r := range p.rings {
-		s.MemoryBytes += int64(r.capacity()) * 64 // slot headers; path bodies counted via detectors
 	}
 	p.cfg.Counters.RecordQueuePeak(s.QueuePeak)
 	p.cfg.Counters.RecordArenaBytes(arenaPeak)
@@ -371,15 +417,26 @@ func (p *Pipeline) Stats() Stats {
 func (p *Pipeline) Alarms(n int) []AlarmEvent { return p.feed.last(n) }
 
 // MemoryBytes is the live resident footprint of the detection state —
-// the quantity the soak gate asserts plateaus.
-func (p *Pipeline) MemoryBytes() int64 { return p.pool.MemoryBytes() }
+// the quantity the soak gate asserts plateaus. It sums the
+// worker-published per-shard gauges, so unlike Pool.MemoryBytes it is
+// safe to call while the pipeline is ingesting.
+func (p *Pipeline) MemoryBytes() int64 {
+	var b int64
+	for i := range p.shardMem {
+		b += p.shardMem[i].Load()
+	}
+	return b
+}
 
-// LoadReport summarizes one RunLoad execution.
+// LoadReport summarizes one RunLoad execution. All counts are per-run
+// deltas, so Offered == Accepted + Dropped holds for every run, not
+// just the pipeline's first.
 type LoadReport struct {
 	// Offered is the number of updates pushed at the rings; Accepted
-	// excludes drop-policy rejections; Processed went through detection.
+	// excludes drop-policy rejections; Dropped counts them; Processed
+	// went through detection.
 	Offered, Accepted, Dropped, Processed int64
-	// Alarms is the pipeline-lifetime alarm total after the run.
+	// Alarms is the number of alarms the run's updates raised.
 	Alarms int64
 	// Elapsed covers first push to final drain; UpdatesPerSec is
 	// Processed over Elapsed.
@@ -427,6 +484,30 @@ func (p *Pipeline) RunLoad(corpus []bgp.Update, total int64) (LoadReport, error)
 
 	block := p.cfg.Policy == Block
 	startProcessed := p.processed.Load()
+	startAlarms := p.alarms.Load()
+	var startDropped int64
+	for _, r := range p.rings {
+		startDropped += r.drops.Load()
+	}
+
+	// Register the producer goroutines before spawning them, under the
+	// same lock/flag handshake ServeIngest uses: Close sets closing and
+	// then waits for registered producers before letting workers exit,
+	// so an update accepted here is always processed.
+	nprod := 0
+	for si := range parts {
+		if quotas[si] > 0 && len(parts[si]) > 0 {
+			nprod++
+		}
+	}
+	p.connMu.Lock()
+	if p.closing.Load() {
+		p.connMu.Unlock()
+		return LoadReport{}, errors.New("serve: pipeline closing")
+	}
+	p.producers.Add(nprod)
+	p.connMu.Unlock()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	var accepted, offered atomic.Int64
@@ -436,6 +517,7 @@ func (p *Pipeline) RunLoad(corpus []bgp.Update, total int64) (LoadReport, error)
 		}
 		wg.Add(1)
 		go func(si int, part []bgp.Update, quota int64) {
+			defer p.producers.Done()
 			defer wg.Done()
 			r := p.rings[si]
 			now := p.now()
@@ -466,11 +548,12 @@ func (p *Pipeline) RunLoad(corpus []bgp.Update, total int64) (LoadReport, error)
 		Offered:   offered.Load(),
 		Accepted:  accepted.Load(),
 		Processed: p.processed.Load() - startProcessed,
-		Alarms:    p.alarms.Load(),
+		Alarms:    p.alarms.Load() - startAlarms,
 		Elapsed:   elapsed,
 		P50Ns:     p.hist.quantile(0.50),
 		P99Ns:     p.hist.quantile(0.99),
 	}
+	rep.Dropped -= startDropped
 	for _, r := range p.rings {
 		rep.Dropped += r.drops.Load()
 	}

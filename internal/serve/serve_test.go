@@ -208,6 +208,7 @@ func TestNewPipelineValidation(t *testing.T) {
 		{Monitors: mons, Shards: -1},           // negative
 		{Monitors: mons, Depth: 8, Batch: 64},  // batch > depth
 		{Monitors: mons, Policy: Policy(9)},    // bad policy
+		{Monitors: mons, AlarmLog: -1},         // negative feed capacity
 	}
 	for i, cfg := range cases {
 		if _, err := NewPipeline(cfg); err == nil {
@@ -279,6 +280,81 @@ func TestServeSmoke(t *testing.T) {
 	cs := counters.Snapshot()
 	if cs.ServeEnqueued != total || cs.ServeBatches == 0 || cs.Alarms != rep.Alarms {
 		t.Fatalf("obs counters inconsistent: %+v", cs)
+	}
+}
+
+// TestStatsConcurrentWithLoad is the /metrics-scrape-during-ingest
+// interleaving: Stats and MemoryBytes run on a foreign goroutine while
+// workers mutate detector state. Safe only because the detector
+// footprints are read from worker-published atomics, never from the
+// detectors themselves — under -race this pins that contract.
+func TestStatsConcurrentWithLoad(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 23, 20, 30)
+	p, err := NewPipeline(Config{Shards: 2, Monitors: monitors, Rels: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var sawBad atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if p.Stats().MemoryBytes <= 0 || p.MemoryBytes() <= 0 {
+				sawBad.Store(true)
+				return
+			}
+		}
+	}()
+	total := int64(50_000)
+	if testing.Short() {
+		total = 10_000
+	}
+	if _, err := p.RunLoad(updates, total); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if sawBad.Load() {
+		t.Fatal("mid-load memory reading was not positive")
+	}
+}
+
+// TestRunLoadDropAccountingAcrossRuns pins per-run conservation: on a
+// pipeline that already shed load, a second RunLoad must report its own
+// drops, not the lifetime counter, so Offered == Accepted + Dropped
+// holds for every run.
+func TestRunLoadDropAccountingAcrossRuns(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 7, 20, 30)
+	p, err := NewPipeline(Config{
+		Shards: 1, Depth: 16, Batch: 8, Policy: Drop, Monitors: monitors, Rels: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	for run := 0; run < 3; run++ {
+		rep, err := p.RunLoad(updates, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepted+rep.Dropped != rep.Offered {
+			t.Fatalf("run %d: accepted %d + dropped %d != offered %d",
+				run, rep.Accepted, rep.Dropped, rep.Offered)
+		}
+		if rep.Processed != rep.Accepted {
+			t.Fatalf("run %d: processed %d != accepted %d", run, rep.Processed, rep.Accepted)
+		}
 	}
 }
 
@@ -455,6 +531,71 @@ func TestIngestTCP(t *testing.T) {
 	l.Close()
 	p.Close()
 	wg.Wait()
+}
+
+// TestCloseMidIngestProcessesAccepted pins the shutdown ordering: Close
+// quiesces producers (waits for every ingest goroutine) before workers
+// may exit, so even when Close lands mid-stream no accepted update is
+// stranded on a ring — the Block policy's "no update is ever lost"
+// contract — and the rings are empty afterwards.
+func TestCloseMidIngestProcessesAccepted(t *testing.T) {
+	updates, monitors, g := loadCorpus(t, 400, 31, 20, 30)
+	// A shallow ring raises the odds Close catches a producer mid-push.
+	p, err := NewPipeline(Config{Shards: 2, Depth: 64, Batch: 16, Monitors: monitors, Rels: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() { defer srvWG.Done(); p.ServeIngest(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var buf []byte
+	for _, u := range updates {
+		buf, err = bgp.AppendUpdateBinary(buf, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sendDone := make(chan struct{})
+	go func() { // stream until the server tears the connection down
+		defer close(sendDone)
+		for {
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for p.processed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no updates processed before timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Close() // mid-stream: producers still pushing
+	<-sendDone
+
+	if got, want := p.processed.Load(), p.enqueued.Load(); got != want {
+		t.Fatalf("processed %d != enqueued %d after Close — accepted updates stranded", got, want)
+	}
+	if d := p.Stats().QueueDepth; d != 0 {
+		t.Fatalf("queue depth %d after Close, want 0", d)
+	}
+	l.Close()
+	srvWG.Wait()
 }
 
 func TestAlarmLogOverwrite(t *testing.T) {
